@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has one bench module.  The expensive
+universes (the five-residence traffic study and the web census) are built
+once per session and shared; each bench times only its *analysis* and
+emits the paper-style rows/series both to stdout and to
+``benchmarks/results/<name>.txt`` so the regenerated "figures" survive
+output capture.
+
+Scale note: the paper measures 273 days of traffic and crawls 100k sites;
+the bench scale (154 days, 4000 sites) reproduces every qualitative shape
+in minutes.  Pass the paper scale through ``repro.datasets`` when time
+permits.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.cloudstats import attribute_domains
+from repro.datasets.scenarios import census_scenario, residence_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/series and persist it under results/."""
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def residence_study():
+    """154 days of traffic at residences A-E (covers spring break)."""
+    return residence_scenario()
+
+
+@pytest.fixture(scope="session")
+def census():
+    """The 4000-site census with five link clicks per site."""
+    return census_scenario()
+
+
+@pytest.fixture(scope="session")
+def census_views(census):
+    """Per-FQDN cloud attribution of the census."""
+    eco = census.ecosystem
+    return attribute_domains(census.dataset, eco.routing, eco.registry)
+
+
+@pytest.fixture()
+def report():
+    return emit

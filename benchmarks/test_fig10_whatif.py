@@ -1,0 +1,42 @@
+"""Figure 10: partial sites becoming full as domains adopt IPv6 in span order."""
+
+from repro.core import analyze_dependencies, whatif_adoption_curve
+from repro.util.tables import render_series
+
+
+def test_fig10_whatif(census, benchmark, report):
+    def compute():
+        analysis = analyze_dependencies(census.dataset)
+        return analysis, whatif_adoption_curve(analysis)
+
+    analysis, curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    xs = [float(adopted) for adopted, _ in curve]
+    ys = [float(full) for _, full in curve]
+    lines = [
+        "Figure 10: sites becoming IPv6-full as IPv4-only domains adopt "
+        "IPv6 in descending span order",
+        render_series("cumulative full", xs, ys, max_points=16),
+    ]
+    for mark in (0.033, 0.10, 0.25, 1.0):
+        k = max(1, round(mark * len(curve)))
+        adopted, full = curve[k - 1]
+        lines.append(
+            f"top {mark:6.1%} of domains ({adopted:5d}) -> "
+            f"{full}/{analysis.num_partial} partial sites full "
+            f"({full / analysis.num_partial:.1%})"
+        )
+    report("fig10_whatif", "\n".join(lines))
+
+    # Shape (paper): enabling the top ~3% of domains flips >25% of
+    # partial sites; universal readiness needs nearly every domain.
+    k = max(1, round(0.033 * len(curve)))
+    assert curve[k - 1][1] / analysis.num_partial > 0.25
+    assert curve[-1][1] == analysis.num_partial
+    # Monotone non-decreasing curve.
+    fulls = [full for _, full in curve]
+    assert fulls == sorted(fulls)
+    # Long tail: the last half of domains contributes far less than the
+    # first few percent.
+    half = curve[len(curve) // 2][1]
+    assert (analysis.num_partial - half) < curve[k - 1][1]

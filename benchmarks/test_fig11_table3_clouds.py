@@ -1,0 +1,60 @@
+"""Figure 11 / Table 3: per-cloud tenant IPv6 readiness breakdown."""
+
+from repro.core import cloud_provider_breakdown, overall_domain_counts
+from repro.util.tables import TextTable
+
+
+def test_fig11_table3_clouds(census_views, benchmark, report):
+    stats = benchmark.pedantic(
+        lambda: cloud_provider_breakdown(census_views), rounds=1, iterations=1
+    )
+
+    total, ipv4_only, full, v6_only = overall_domain_counts(census_views)
+    table = TextTable(
+        ["organization", "# domains", "IPv4-only", "IPv6-full", "IPv6-only"],
+        title="Figure 11 / Table 3: domains per cloud by IPv6 readiness",
+    )
+    table.add_row([
+        "Overall", total,
+        f"{ipv4_only} ({ipv4_only / total:.1%})",
+        f"{full} ({full / total:.1%})",
+        f"{v6_only} ({v6_only / total:.1%})",
+    ])
+    for s in stats[:15]:
+        table.add_row([
+            s.org.name, s.total,
+            f"{s.ipv4_only} ({s.share(s.ipv4_only):.1%})",
+            f"{s.ipv6_full} ({s.share(s.ipv6_full):.1%})",
+            f"{s.ipv6_only} ({s.share(s.ipv6_only):.1%})",
+        ])
+    report("fig11_table3_clouds", table.render())
+
+    by_name = {s.org.name: s for s in stats}
+    cloudflare = by_name["Cloudflare, Inc."]
+    amazon = by_name["Amazon.com, Inc."]
+    google = by_name["Google LLC"]
+
+    # Shape (paper Table 3): Cloudflare ~85% full, Google ~68%, Amazon ~25%.
+    assert cloudflare.share(cloudflare.ipv6_full) > 0.55
+    assert google.share(google.ipv6_full) > 0.5
+    assert amazon.share(amazon.ipv6_full) < 0.5
+    assert cloudflare.share(cloudflare.ipv6_full) > amazon.share(amazon.ipv6_full) + 0.2
+
+    # The Bunnyway artifact: nearly all its domains are IPv6-only, because
+    # their A records sit on Datacamp (paper section 5.1).
+    bunny = by_name.get("BUNNYWAY, informacijske storitve d.o.o.")
+    if bunny is not None and bunny.total >= 5:
+        assert bunny.share(bunny.ipv6_only) > 0.9
+
+    # The dual-Akamai artifact: the legacy org is overwhelmingly
+    # IPv4-only while the international org carries the AAAA side.
+    tech = by_name.get("Akamai Technologies, Inc.")
+    intl = by_name.get("Akamai International B.V.")
+    if tech is not None and tech.total >= 5:
+        assert tech.share(tech.ipv4_only) > 0.85
+    if intl is not None and intl.total >= 5:
+        assert intl.ipv6_only > 0
+
+    # The top three clouds host most observed domains (paper: ~60%).
+    top3 = sum(s.total for s in stats[:3])
+    assert top3 > 0.4 * total

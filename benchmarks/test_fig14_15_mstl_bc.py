@@ -1,0 +1,37 @@
+"""Figures 14/15: MSTL of byte fractions at residences B and C, full period."""
+
+import numpy as np
+import pytest
+
+from repro.core import hourly_fraction_series, mstl
+from repro.util.tables import render_series
+
+
+@pytest.mark.parametrize("residence", ["B", "C"])
+def test_fig14_15_mstl_full_period(residence_study, benchmark, report, residence):
+    dataset = residence_study.dataset(residence)
+    series = hourly_fraction_series(dataset, metric="bytes")
+
+    result = benchmark.pedantic(
+        lambda: mstl(series, [24, 168]), rounds=1, iterations=1
+    )
+
+    hours = np.arange(series.size, dtype=float)
+    figure = "fig14" if residence == "B" else "fig15"
+    lines = [
+        f"Figure {'14' if residence == 'B' else '15'}: MSTL of residence "
+        f"{residence}'s IPv6 byte fraction over {residence_study.num_days} days",
+        render_series("observed", hours, result.observed, max_points=16),
+        render_series("trend   ", hours, result.trend, max_points=16),
+        render_series("daily   ", hours, result.seasonal(24), max_points=16),
+        render_series("weekly  ", hours, result.seasonal(168), max_points=16),
+        render_series("residual", hours, result.residual, max_points=16),
+    ]
+    report(f"{figure}_mstl_{residence}", "\n".join(lines))
+
+    assert np.allclose(result.reconstruction(), series)
+    # Long-term trend stays inside the observable range and moves slowly.
+    assert result.trend.min() > -0.1 and result.trend.max() < 1.1
+    assert np.abs(np.diff(result.trend)).max() < 0.05
+    # A diurnal component exists at both residences.
+    assert result.seasonal(24).std() > 0.005

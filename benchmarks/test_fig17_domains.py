@@ -1,0 +1,41 @@
+"""Figure 17: per-domain (reverse-DNS eTLD+1) IPv6 fraction box stats."""
+
+from repro.core import shared_domain_box_stats
+from repro.util.tables import TextTable
+
+#: Scaled-down volume threshold (paper: 100 MB over nine months).
+MIN_BYTES = 50_000_000
+
+
+def test_fig17_domains(residence_study, benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: shared_domain_box_stats(
+            residence_study.datasets, min_residences=3, min_bytes=MIN_BYTES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["domain", "min", "p25", "median", "p75", "max", "residences"],
+        title="Figure 17: IPv6 fraction by rDNS domain (3+ residences, volume filter)",
+    )
+    for domain, stats in rows:
+        table.add_row([
+            domain, f"{stats.minimum:.2f}", f"{stats.p25:.2f}",
+            f"{stats.median:.2f}", f"{stats.p75:.2f}", f"{stats.maximum:.2f}",
+            stats.n,
+        ])
+    report("fig17_domains", table.render())
+
+    assert rows, "expected shared prominent domains"
+    by_domain = dict(rows)
+    # Paper's named laggards: zero IPv6 wherever observed.
+    for laggard in ("zoom.us", "justin.tv", "github.com", "usc.edu", "wp.com"):
+        if laggard in by_domain:
+            assert by_domain[laggard].maximum == 0.0, laggard
+    # Leaders exist: some domain is consistently above 80%.
+    assert any(stats.median > 0.8 for _, stats in rows)
+    # Rows are sorted by median, descending.
+    medians = [stats.median for _, stats in rows]
+    assert medians == sorted(medians, reverse=True)

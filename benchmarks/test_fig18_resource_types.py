@@ -1,0 +1,37 @@
+"""Figure 18: top IPv4-only domains by the resource types they serve."""
+
+import numpy as np
+
+from repro.core import analyze_dependencies, resource_type_matrix
+from repro.util.tables import TextTable
+
+
+def test_fig18_resource_types(census, benchmark, report):
+    def compute():
+        analysis = analyze_dependencies(census.dataset)
+        return analysis, resource_type_matrix(analysis, top_k=20)
+
+    analysis, (domains, types, matrix) = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        ["IPv4-only domain", "(any)"] + [t.value for t in types],
+        title="Figure 18: IPv6-partial websites relying on each domain, by resource type",
+    )
+    for i, domain in enumerate(domains):
+        span = analysis.domain_impacts[domain].span
+        table.add_row([domain, span] + [int(v) for v in matrix[i]])
+    report("fig18_resource_types", table.render())
+
+    assert len(domains) > 0 and matrix.sum() > 0
+    # Shape (paper): images are the most frequently served type among
+    # heavy-hitter IPv4-only domains, and rows are span-ordered.
+    type_totals = {t.value: int(matrix[:, j].sum()) for j, t in enumerate(types)}
+    heavy_types = sorted(type_totals, key=type_totals.get, reverse=True)[:3]
+    assert "image" in heavy_types
+    spans = [analysis.domain_impacts[d].span for d in domains]
+    assert spans == sorted(spans, reverse=True)
+    # Each cell is bounded by its domain's span.
+    for i, domain in enumerate(domains):
+        assert matrix[i].max() <= analysis.domain_impacts[domain].span

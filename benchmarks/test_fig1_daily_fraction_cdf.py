@@ -1,0 +1,42 @@
+"""Figure 1: CDFs of per-day IPv6 byte/flow fractions, residences A-C."""
+
+import numpy as np
+
+from repro.core import daily_fractions
+from repro.flowmon.monitor import FlowScope
+from repro.util.stats import empirical_cdf
+from repro.util.tables import render_series
+
+
+def test_fig1_daily_fraction_cdf(residence_study, benchmark, report):
+    def compute():
+        series = {}
+        for name in ("A", "B", "C"):
+            dataset = residence_study.dataset(name)
+            for scope in (FlowScope.EXTERNAL, FlowScope.INTERNAL):
+                for metric in ("bytes", "flows"):
+                    values = daily_fractions(dataset, scope=scope, metric=metric)
+                    if values:
+                        series[(name, scope.value, metric)] = empirical_cdf(values)
+        return series
+
+    cdfs = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = ["Figure 1: fraction of per-day IPv6 bytes/flows (CDFs)"]
+    for (name, scope, metric), cdf in sorted(cdfs.items()):
+        lines.append(
+            render_series(f"{name}/{scope}/{metric}", cdf.points, cdf.fractions)
+        )
+    report("fig1_daily_fraction_cdf", "\n".join(lines))
+
+    # Shape: byte-fraction CDFs spread broadly; flow CDFs rise sharply
+    # over a narrower range (paper section 3.2).
+    for name in ("A", "B"):
+        byte_cdf = cdfs[(name, "external", "bytes")]
+        flow_cdf = cdfs[(name, "external", "flows")]
+        byte_spread = np.percentile(byte_cdf.points, 90) - np.percentile(byte_cdf.points, 10)
+        flow_spread = np.percentile(flow_cdf.points, 90) - np.percentile(flow_cdf.points, 10)
+        assert byte_spread > flow_spread
+    # Residence A and B are IPv6-leaning by bytes on the median day; C is not.
+    assert cdfs[("A", "external", "bytes")].value_at_fraction(0.5) > 0.4
+    assert cdfs[("C", "external", "bytes")].value_at_fraction(0.5) < 0.3

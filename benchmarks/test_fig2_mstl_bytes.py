@@ -1,0 +1,57 @@
+"""Figure 2: MSTL decomposition of residence A's IPv6 byte fraction.
+
+The paper shows one month (March 2025) so the daily/weekly components are
+visible, with the spring-break occupancy dip (March 16-19 = days 135-138
+of the study) pulling the observed fraction down.
+"""
+
+import numpy as np
+
+from repro.core import hourly_fraction_series, mstl
+from repro.util.tables import render_series
+
+MARCH_START_DAY = 120
+MARCH_DAYS = 31
+
+
+def test_fig2_mstl_bytes(residence_study, benchmark, report):
+    dataset = residence_study.dataset("A")
+    series = hourly_fraction_series(
+        dataset, metric="bytes", start_day=MARCH_START_DAY, num_days=MARCH_DAYS
+    )
+
+    result = benchmark.pedantic(
+        lambda: mstl(series, [24, 168]), rounds=1, iterations=1
+    )
+
+    hours = np.arange(series.size, dtype=float)
+    lines = [
+        "Figure 2: MSTL of residence A's hourly IPv6 byte fraction "
+        f"(days {MARCH_START_DAY}..{MARCH_START_DAY + MARCH_DAYS - 1})",
+        render_series("observed", hours, result.observed, max_points=16),
+        render_series("trend   ", hours, result.trend, max_points=16),
+        render_series("daily   ", hours, result.seasonal(24), max_points=16),
+        render_series("weekly  ", hours, result.seasonal(168), max_points=16),
+        render_series("residual", hours, result.residual, max_points=16),
+    ]
+    daily_profile = result.seasonal(24).reshape(-1, 24).mean(axis=0)
+    lines.append(
+        "mean daily profile by hour: "
+        + ", ".join(f"{h:02d}:{v:+.3f}" for h, v in enumerate(daily_profile))
+    )
+    report("fig2_mstl_bytes", "\n".join(lines))
+
+    # Exact additivity of the decomposition.
+    assert np.allclose(result.reconstruction(), series)
+    # A real diurnal component exists (paper: strong daily peaks).
+    assert result.seasonal(24).std() > 0.01
+    # The weekly component is weak relative to daily (paper section 3.3).
+    assert result.seasonal(168).std() < 3.0 * result.seasonal(24).std()
+    # Night trough: the fraction dips when humans sleep.
+    night = daily_profile[3:6].mean()
+    waking = daily_profile[10:23].mean()
+    assert waking > night
+    # Spring break (days 135-138) depresses the trend vs. the month mean.
+    day_offset = (135 - MARCH_START_DAY) * 24
+    break_trend = result.trend[day_offset : day_offset + 4 * 24].mean()
+    assert break_trend < result.trend.mean() + 0.02

@@ -1,0 +1,40 @@
+"""Figure 3: cumulative distribution of per-AS IPv6 byte fractions."""
+
+from repro.core import as_traffic_breakdown
+from repro.util.stats import empirical_cdf
+from repro.util.tables import render_series
+
+
+def test_fig3_as_cdf(residence_study, benchmark, report):
+    def compute():
+        return {
+            name: as_traffic_breakdown(dataset)
+            for name, dataset in residence_study.datasets.items()
+        }
+
+    breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = ["Figure 3: CDF of per-AS IPv6 byte fractions by residence"]
+    cdfs = {}
+    for name, entries in sorted(breakdowns.items()):
+        if not entries:
+            continue
+        fractions = [entry.fraction_v6 for entry in entries]
+        cdfs[name] = empirical_cdf(fractions)
+        lines.append(render_series(f"residence {name} ({len(entries)} ASes)",
+                                   cdfs[name].points, cdfs[name].fractions))
+    report("fig3_as_cdf", "\n".join(lines))
+
+    # Shape (paper section 3.4):
+    for name, entries in breakdowns.items():
+        if len(entries) < 8:
+            continue
+        zero_share = sum(1 for e in entries if e.fraction_v6 == 0.0) / len(entries)
+        # "At least one quarter of ASes at every location provide no IPv6."
+        assert zero_share >= 0.15, f"residence {name}: only {zero_share:.0%} zero-v6"
+    # Residence C's best AS stays far below 1.0 (broken device conjecture).
+    c_entries = breakdowns["C"]
+    assert max(e.fraction_v6 for e in c_entries) < 0.6
+    # IPv6-dominant ASes exist at the dual-stack-verified residences.
+    a_entries = breakdowns["A"]
+    assert max(e.fraction_v6 for e in a_entries) > 0.8

@@ -1,0 +1,43 @@
+"""Figure 4: per-AS IPv6 byte fractions across residences, by category."""
+
+from repro.core import shared_as_box_stats
+from repro.net.asn import AsCategory
+from repro.util.tables import TextTable
+
+
+def test_fig4_as_categories(residence_study, benchmark, report):
+    grouped = benchmark.pedantic(
+        lambda: shared_as_box_stats(residence_study.datasets, min_residences=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["category", "AS", "asn", "min", "p25", "median", "p75", "max", "n"],
+        title="Figure 4: IPv6 byte fraction by AS (seen at 3+ residences), by category",
+    )
+    for category in AsCategory:
+        for info, stats in grouped.get(category, []):
+            table.add_row([
+                category.value, info.name, info.asn,
+                f"{stats.minimum:.2f}", f"{stats.p25:.2f}", f"{stats.median:.2f}",
+                f"{stats.p75:.2f}", f"{stats.maximum:.2f}", stats.n,
+            ])
+    report("fig4_as_categories", table.render())
+
+    # Shape (paper): ISPs consistently low; Web/Social consistently high
+    # except ByteDance; named laggards at zero.
+    isps = grouped.get(AsCategory.ISP, [])
+    web = grouped.get(AsCategory.WEB_SOCIAL, [])
+    assert web, "web/social ASes must be observed at 3+ residences"
+    for info, stats in isps:
+        assert stats.median <= 0.5, f"{info.name} median too high for an ISP"
+    web_medians = {info.name: stats.median for info, stats in web}
+    bytedance = web_medians.pop("BYTEDANCE", None)
+    assert web_medians and min(web_medians.values()) > 0.5
+    if bytedance is not None:
+        assert bytedance < 0.3  # the paper's explicit exception
+    # Zoom lags among software ASes (paper: zero IPv6).
+    for info, stats in grouped.get(AsCategory.SOFTWARE, []):
+        if info.asn == 30103:
+            assert stats.maximum == 0.0

@@ -1,0 +1,40 @@
+"""Figure 5: classification of the top sites (table + Sankey counts)."""
+
+from repro.core import census_breakdown
+from repro.util.tables import TextTable, format_count_pct
+
+
+def test_fig5_classification(census, benchmark, report):
+    breakdown = benchmark.pedantic(
+        lambda: census_breakdown(census.dataset), rounds=1, iterations=1
+    )
+
+    b = breakdown
+    conn = b.connection_success
+    table = TextTable(["category", "count (%)"],
+                      title="Figure 5: site classification breakdown")
+    table.add_row(["Total", b.total])
+    table.add_row(["Loading-Failure (NXDOMAIN)", b.nxdomain])
+    table.add_row(["Loading-Failure (Others)", b.other_failure])
+    table.add_row(["Connection Success", format_count_pct(conn, conn)])
+    table.add_row(["Unknown Primary Domain", format_count_pct(b.unknown_primary, conn)])
+    table.add_row(["IPv4-only (A-only domain)", format_count_pct(b.ipv4_only, conn)])
+    table.add_row(["AAAA-enabled Domain", format_count_pct(b.aaaa_enabled, conn)])
+    table.add_row(["IPv6-partial (some A-only resources)", format_count_pct(b.ipv6_partial, conn)])
+    table.add_row(["IPv6-full (AAAA for all resources)", format_count_pct(b.ipv6_full, conn)])
+    table.add_row(["Browser Used IPv4", format_count_pct(b.browser_used_ipv4, conn)])
+    table.add_row(["Browser Used IPv6 Only", format_count_pct(b.browser_used_ipv6_only, conn)])
+    report("fig5_classification", table.render())
+
+    # Partition identities hold exactly (the Sankey's conservation).
+    breakdown.check_invariants()
+    # Shape (paper, July 2025): failures ~18%; of connected sites 57.6%
+    # IPv4-only, 29.8% partial, 12.6% full; ~1 in 10 full sites used IPv4.
+    failure_share = (b.nxdomain + b.other_failure) / b.total
+    assert 0.12 <= failure_share <= 0.25
+    assert 0.45 <= b.share_of_connected(b.ipv4_only) <= 0.70
+    assert b.share_of_connected(b.ipv6_partial) > b.share_of_connected(b.ipv6_full)
+    assert 0.05 <= b.share_of_connected(b.ipv6_full) <= 0.30
+    assert 0 < b.browser_used_ipv4 < 0.5 * b.ipv6_full
+    # The majority of AAAA-enabled sites are held back by resources.
+    assert b.ipv6_partial / b.aaaa_enabled > 0.5

@@ -1,0 +1,35 @@
+"""Figure 6: IPv6 readiness of the top-N slices of the list."""
+
+from repro.core import top_n_breakdown
+from repro.util.tables import TextTable
+
+
+def test_fig6_topn(census, benchmark, report):
+    num_sites = len(census.dataset.results)
+    ns = (100, num_sites // 10, num_sites // 3, num_sites)
+
+    rows = benchmark.pedantic(
+        lambda: top_n_breakdown(census.dataset, ns=ns), rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        ["top N", "classified", "IPv4-only %", "IPv6-partial %", "IPv6-full %"],
+        title="Figure 6: readiness of top-N websites",
+    )
+    for row in rows:
+        table.add_row([
+            row.n, row.classified,
+            f"{row.ipv4_only_share:.1%}",
+            f"{row.ipv6_partial_share:.1%}",
+            f"{row.ipv6_full_share:.1%}",
+        ])
+    report("fig6_topn", table.render())
+
+    # Shape (paper): the most popular sites are markedly more IPv6-full
+    # and less IPv4-only than the long tail; the gradient is monotone-ish.
+    assert len(rows) == len(ns)
+    top, tail = rows[0], rows[-1]
+    assert top.ipv6_full_share > 1.2 * tail.ipv6_full_share
+    assert top.ipv4_only_share < tail.ipv4_only_share
+    full_shares = [row.ipv6_full_share for row in rows]
+    assert full_shares[0] == max(full_shares)

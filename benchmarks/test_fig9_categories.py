@@ -1,0 +1,37 @@
+"""Figure 9: categories of heavy-hitter IPv4-only resource domains."""
+
+from repro.core import analyze_dependencies, heavy_hitter_categories
+from repro.util.tables import TextTable
+
+
+def test_fig9_categories(census, benchmark, report):
+    pool = census.ecosystem.pool
+    num_sites = len(census.dataset.results)
+    # The paper's threshold is span >= 100 over 100k sites; scale it.
+    min_span = max(3, round(num_sites * 100 / 100_000))
+
+    def compute():
+        analysis = analyze_dependencies(census.dataset)
+        histogram = heavy_hitter_categories(
+            analysis,
+            lambda domain: pool.get(domain).category if domain in pool else None,
+            min_span=min_span,
+        )
+        return analysis, histogram
+
+    analysis, histogram = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["category", "heavy-hitter IPv4-only domains"],
+        title=f"Figure 9: categories of IPv4-only domains with span >= {min_span}",
+    )
+    for category, count in histogram.most_common():
+        table.add_row([category.value if category else "(uncategorized)", count])
+    report("fig9_categories", table.render())
+
+    # Shape (paper): advertising is the most frequent category among
+    # heavy hitters, accounting for the largest share.
+    assert histogram, "expected heavy hitters at this scale"
+    top_category, top_count = histogram.most_common(1)[0]
+    assert top_category is not None and top_category.value == "ads"
+    assert top_count >= 0.3 * sum(histogram.values())

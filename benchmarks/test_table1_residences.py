@@ -1,0 +1,63 @@
+"""Table 1: per-residence traffic volume, flow counts, IPv6 fractions."""
+
+from repro.core import compute_residence_stats
+from repro.util.tables import TextTable
+
+
+def test_table1_residences(residence_study, benchmark, report):
+    stats_by_residence = benchmark.pedantic(
+        lambda: {
+            name: compute_residence_stats(dataset)
+            for name, dataset in residence_study.datasets.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["res", "scope", "total GB", "v4 GB", "v6 GB", "frac v6",
+         "daily mean (s.d.)", "flows", "frac v6 flows", "daily mean (s.d.)"],
+        title="Table 1: per-residence IPv6 traffic volume and flow count",
+    )
+    for name in sorted(stats_by_residence):
+        stats = stats_by_residence[name]
+        for scope in (stats.external, stats.internal):
+            table.add_row([
+                name, scope.scope.value,
+                f"{scope.total_gb:.2f}",
+                f"{scope.v4_bytes / 1e9:.2f}",
+                f"{scope.v6_bytes / 1e9:.2f}",
+                f"{scope.byte_fraction_overall:.3f}",
+                f"{scope.byte_fraction_daily_mean:.3f} ({scope.byte_fraction_daily_std:.3f})",
+                scope.total_flows,
+                f"{scope.flow_fraction_overall:.3f}",
+                f"{scope.flow_fraction_daily_mean:.3f} ({scope.flow_fraction_daily_std:.3f})",
+            ])
+    report("table1_residences", table.render())
+
+    # Shape assertions (paper Table 1):
+    external = {n: s.external for n, s in stats_by_residence.items()}
+    fractions = [s.byte_fraction_overall for s in external.values()]
+    # Wide spread across residences (paper: 0.07 .. 0.68 by bytes).
+    assert max(fractions) - min(fractions) > 0.3
+    assert max(fractions) > 0.5 and min(fractions) < 0.25
+    # High day-to-day variation somewhere (paper: s.d. > 0.15).
+    assert max(s.byte_fraction_daily_std for s in external.values()) > 0.12
+    # Flow majorities and byte majorities disagree for some residences.
+    byte_majority_v6 = sum(1 for s in external.values() if s.byte_fraction_overall > 0.5)
+    flow_majority_v6 = sum(1 for s in external.values() if s.flow_fraction_overall > 0.5)
+    assert byte_majority_v6 >= 1 and flow_majority_v6 >= 1
+    # Internal traffic is a tiny share of external at most residences.
+    small_internal = sum(
+        1
+        for s in stats_by_residence.values()
+        if s.internal.total_bytes < 0.05 * max(1, s.external.total_bytes)
+    )
+    assert small_internal >= 3
+    # Residence D: internal flows exceed external (partial visibility + NAS).
+    d = stats_by_residence["D"]
+    assert d.internal.total_flows > d.external.total_flows
+    # Residence C (broken CPE): low external, healthy internal IPv6.
+    c = stats_by_residence["C"]
+    assert c.external.byte_fraction_overall < 0.25
+    assert c.internal.flow_fraction_overall > c.external.flow_fraction_overall

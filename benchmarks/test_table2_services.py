@@ -1,0 +1,58 @@
+"""Table 2: per-service IPv6 adoption versus enablement policy."""
+
+from repro.cloud.providers import Ipv6Policy
+from repro.core import service_adoption_table
+from repro.util.tables import TextTable
+
+
+def test_table2_services(census, census_views, benchmark, report):
+    eco = census.ecosystem
+
+    table_rows = benchmark.pedantic(
+        lambda: service_adoption_table(census_views, eco.service_of_cname, min_domains=10),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["provider", "service", "IPv6 policy", "# ready", "# total", "% ready"],
+        title="Table 2: IPv6 adoption across cloud services",
+    )
+    for row in table_rows:
+        table.add_row([
+            row.provider.name, row.service.name, row.service.policy.value,
+            row.ipv6_ready, row.total, f"{row.share:.1%}",
+        ])
+    report("table2_services", table.render())
+
+    by_policy: dict[Ipv6Policy, list[float]] = {}
+    for row in table_rows:
+        by_policy.setdefault(row.service.policy, []).append(row.share)
+
+    def mean(policy: Ipv6Policy) -> float | None:
+        values = by_policy.get(policy)
+        return sum(values) / len(values) if values else None
+
+    always_on = mean(Ipv6Policy.ALWAYS_ON)
+    default_on = mean(Ipv6Policy.DEFAULT_ON)
+    opt_in = mean(Ipv6Policy.OPT_IN)
+    code_change = mean(Ipv6Policy.OPT_IN_CODE_CHANGE)
+    none = mean(Ipv6Policy.NONE)
+
+    # Table 2's central claim: the policy ladder decides adoption.
+    assert always_on == 1.0  # "Always On ... 100.0%"
+    assert default_on is not None and 0.45 <= default_on <= 0.95
+    assert opt_in is not None and opt_in < default_on - 0.2
+    if code_change is not None:
+        assert code_change < 0.15  # S3-style: near zero after years
+    if none is not None:
+        assert none == 0.0
+
+    # The S3 row specifically (paper: 0.4%).
+    s3 = [r for r in table_rows if r.service.name == "Amazon S3"]
+    if s3:
+        assert s3[0].share < 0.1
+    # Azure Front Door cannot be disabled: always exactly 100%.
+    afd = [r for r in table_rows if "Front Door" in r.service.name]
+    if afd:
+        assert afd[0].share == 1.0

@@ -1,0 +1,25 @@
+"""Reproduction of "Towards a Non-Binary View of IPv6 Adoption" (IMC 2025).
+
+The paper asks *how much* IPv6 is actually used -- by households, by
+websites, by cloud tenants -- instead of the binary "is IPv6 possible?".
+This package implements the full measurement stack over a synthetic
+Internet: the substrates (addresses, BGP, DNS, PSL, CryptoPAN, Happy
+Eyeballs, a conntrack flow monitor, a residential traffic model, a web
+ecosystem with cloud tenancy, an OpenWPM-style crawler) and the paper's
+analyses (Table 1 household statistics, MSTL decomposition, graded website
+readiness, dependency span/contribution, cloud/service adoption and the
+multi-cloud Wilcoxon comparison).
+
+Quick start::
+
+    from repro.datasets import build_residence_study, build_census
+    from repro.core import compute_residence_stats, census_breakdown
+
+    study = build_residence_study(num_days=28)
+    print(compute_residence_stats(study.dataset("A")))
+
+    census = build_census(num_sites=1000)
+    print(census_breakdown(census.dataset))
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""Cloud and CDN providers, their services, and tenant placement.
+
+Implements the paper's section 5 subject matter: a catalog of cloud/CDN
+providers with per-service IPv6 enablement policies (always-on, default-on
+with opt-out, opt-in, opt-in-by-code-change), multi-AS organizations and
+split-brand partnerships (the Bunnyway/Datacamp and dual-Akamai attribution
+artifacts), and a tenant model in which a site's subdomains are placed
+across one or more providers -- the basis of the multi-cloud comparison in
+Figure 12.
+"""
+
+from repro.cloud.providers import (
+    CloudProvider,
+    CloudService,
+    Ipv6Policy,
+    build_provider_catalog,
+)
+from repro.cloud.tenancy import SubdomainPlacement, Tenant, TenantPlanner
+
+__all__ = [
+    "CloudProvider",
+    "CloudService",
+    "Ipv6Policy",
+    "build_provider_catalog",
+    "SubdomainPlacement",
+    "Tenant",
+    "TenantPlanner",
+]

@@ -1,0 +1,449 @@
+"""Client-side non-binary IPv6 analysis (paper section 3).
+
+Consumes a :class:`~repro.traffic.generate.ResidenceDataset` and produces
+the paper's client-side results:
+
+* :func:`compute_residence_stats` -- Table 1: traffic volume, flow counts,
+  IPv6 fractions (overall and daily mean +- s.d.), external vs. internal;
+* :func:`daily_fractions` -- the per-day series behind Figures 1 and 16;
+* :func:`hourly_fraction_series` -- the hourly series MSTL decomposes
+  (Figures 2, 13, 14, 15);
+* :func:`as_traffic_breakdown` / :func:`shared_as_box_stats` -- the
+  AS-level view (Figures 3 and 4), mapping each external peer address to
+  its origin AS via the BGP table;
+* :func:`domain_traffic_breakdown` / :func:`shared_domain_box_stats` --
+  the reverse-DNS domain view (Figure 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flowmon.conntrack import FlowRecord
+from repro.flowmon.monitor import FlowScope
+from repro.net.asn import AsCategory, AsInfo
+from repro.net.psl import default_psl
+from repro.traffic.generate import ResidenceDataset
+from repro.util.stats import BoxStats, box_stats
+from repro.util.timeutil import HOUR, day_index
+
+GB = 1e9
+
+
+def _fraction(v6: float, total: float) -> float:
+    return v6 / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ResidenceScopeStats:
+    """One scope's row of Table 1 (external or internal)."""
+
+    residence: str
+    scope: FlowScope
+    total_bytes: int
+    v4_bytes: int
+    v6_bytes: int
+    total_flows: int
+    v4_flows: int
+    v6_flows: int
+    byte_fraction_overall: float
+    byte_fraction_daily_mean: float
+    byte_fraction_daily_std: float
+    flow_fraction_overall: float
+    flow_fraction_daily_mean: float
+    flow_fraction_daily_std: float
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / GB
+
+
+@dataclass(frozen=True)
+class ResidenceStats:
+    """Table 1: one residence, both scopes."""
+
+    residence: str
+    external: ResidenceScopeStats
+    internal: ResidenceScopeStats
+
+
+def _scope_stats(
+    residence: str, scope: FlowScope, records: list[FlowRecord]
+) -> ResidenceScopeStats:
+    total_bytes = v6_bytes = 0
+    total_flows = v6_flows = 0
+    per_day: dict[int, list[int]] = {}
+    for record in records:
+        volume = record.total_bytes
+        total_bytes += volume
+        total_flows += 1
+        day = day_index(record.start_time)
+        bucket = per_day.setdefault(day, [0, 0, 0, 0])  # bytes, v6b, flows, v6f
+        bucket[0] += volume
+        bucket[2] += 1
+        if record.key.is_v6:
+            v6_bytes += volume
+            v6_flows += 1
+            bucket[1] += volume
+            bucket[3] += 1
+    daily_byte_fracs = [
+        _fraction(b[1], b[0]) for b in per_day.values() if b[0] > 0
+    ]
+    daily_flow_fracs = [
+        _fraction(b[3], b[2]) for b in per_day.values() if b[2] > 0
+    ]
+    return ResidenceScopeStats(
+        residence=residence,
+        scope=scope,
+        total_bytes=total_bytes,
+        v4_bytes=total_bytes - v6_bytes,
+        v6_bytes=v6_bytes,
+        total_flows=total_flows,
+        v4_flows=total_flows - v6_flows,
+        v6_flows=v6_flows,
+        byte_fraction_overall=_fraction(v6_bytes, total_bytes),
+        byte_fraction_daily_mean=float(np.mean(daily_byte_fracs)) if daily_byte_fracs else 0.0,
+        byte_fraction_daily_std=float(np.std(daily_byte_fracs)) if daily_byte_fracs else 0.0,
+        flow_fraction_overall=_fraction(v6_flows, total_flows),
+        flow_fraction_daily_mean=float(np.mean(daily_flow_fracs)) if daily_flow_fracs else 0.0,
+        flow_fraction_daily_std=float(np.std(daily_flow_fracs)) if daily_flow_fracs else 0.0,
+    )
+
+
+def compute_residence_stats(dataset: ResidenceDataset) -> ResidenceStats:
+    """Table 1's row pair for one residence."""
+    name = dataset.profile.name
+    return ResidenceStats(
+        residence=name,
+        external=_scope_stats(name, FlowScope.EXTERNAL, dataset.external_records()),
+        internal=_scope_stats(name, FlowScope.INTERNAL, dataset.internal_records()),
+    )
+
+
+def daily_fractions(
+    dataset: ResidenceDataset,
+    scope: FlowScope = FlowScope.EXTERNAL,
+    metric: str = "bytes",
+) -> list[float]:
+    """Per-day IPv6 fraction series (days with traffic only), for the
+    daily-fraction CDFs of Figures 1 and 16."""
+    if metric not in ("bytes", "flows"):
+        raise ValueError(f"metric must be 'bytes' or 'flows', got {metric!r}")
+    per_day: dict[int, list[float]] = {}
+    for record in dataset.monitor.records(scope=scope):
+        day = day_index(record.start_time)
+        bucket = per_day.setdefault(day, [0.0, 0.0])
+        amount = float(record.total_bytes) if metric == "bytes" else 1.0
+        bucket[0] += amount
+        if record.key.is_v6:
+            bucket[1] += amount
+    return [
+        bucket[1] / bucket[0]
+        for _, bucket in sorted(per_day.items())
+        if bucket[0] > 0
+    ]
+
+
+def hourly_fraction_series(
+    dataset: ResidenceDataset,
+    scope: FlowScope = FlowScope.EXTERNAL,
+    metric: str = "bytes",
+    start_day: int = 0,
+    num_days: int | None = None,
+) -> np.ndarray:
+    """Hourly IPv6 fraction series for MSTL (Figures 2 and 13-15).
+
+    Hours with no traffic are filled by linear interpolation (the paper's
+    decomposition needs a regular series).
+    """
+    if metric not in ("bytes", "flows"):
+        raise ValueError(f"metric must be 'bytes' or 'flows', got {metric!r}")
+    if num_days is None:
+        num_days = dataset.num_days - start_day
+    if num_days <= 0:
+        raise ValueError("window must cover at least one day")
+    hours = num_days * 24
+    totals = np.zeros(hours)
+    v6 = np.zeros(hours)
+    start_time = start_day * 24 * HOUR
+    for record in dataset.monitor.records(scope=scope):
+        offset = record.start_time - start_time
+        if offset < 0:
+            continue
+        hour = int(offset // HOUR)
+        if hour >= hours:
+            continue
+        amount = float(record.total_bytes) if metric == "bytes" else 1.0
+        totals[hour] += amount
+        if record.key.is_v6:
+            v6[hour] += amount
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fractions = np.where(totals > 0, v6 / np.maximum(totals, 1e-12), np.nan)
+    observed = ~np.isnan(fractions)
+    if not observed.any():
+        raise ValueError("no traffic in the requested window")
+    indices = np.arange(hours)
+    fractions[~observed] = np.interp(
+        indices[~observed], indices[observed], fractions[observed]
+    )
+    return fractions
+
+
+@dataclass(frozen=True)
+class HeavyHitterDay:
+    """One extreme day and the ASes that dominated its traffic.
+
+    Section 3.2 investigates days at the tails of the daily-fraction
+    distribution: "days with IPv6 fractions above the 90th percentile"
+    are dominated by IPv6-heavy bulk services (Valve, Netflix, Apple),
+    days below the 10th by IPv4-only ones (Twitch, Zoom).
+    """
+
+    day: int
+    fraction_v6: float
+    total_bytes: int
+    dominant_ases: tuple[tuple[int, int], ...]  # (asn, bytes), descending
+
+
+def heavy_hitter_days(
+    dataset: ResidenceDataset,
+    low_quantile: float = 0.10,
+    high_quantile: float = 0.90,
+    top_ases: int = 3,
+) -> tuple[list[HeavyHitterDay], list[HeavyHitterDay]]:
+    """Identify the extreme IPv6-fraction days and who drove them.
+
+    Returns (low_days, high_days): the days whose external IPv6 byte
+    fraction falls below ``low_quantile`` / above ``high_quantile`` of the
+    daily distribution, each with its ``top_ases`` traffic contributors.
+    """
+    if not 0.0 <= low_quantile < high_quantile <= 1.0:
+        raise ValueError("quantiles must satisfy 0 <= low < high <= 1")
+    routing = dataset.universe.routing
+    monitor = dataset.monitor
+    per_day: dict[int, dict] = {}
+    for record in dataset.external_records():
+        day = day_index(record.start_time)
+        bucket = per_day.setdefault(day, {"total": 0, "v6": 0, "by_asn": {}})
+        volume = record.total_bytes
+        bucket["total"] += volume
+        if record.key.is_v6:
+            bucket["v6"] += volume
+        peer = monitor.external_peer(record)
+        if peer is not None:
+            asn = routing.origin_of(peer)
+            if asn is not None:
+                bucket["by_asn"][asn] = bucket["by_asn"].get(asn, 0) + volume
+    days = {
+        day: bucket for day, bucket in per_day.items() if bucket["total"] > 0
+    }
+    if not days:
+        return [], []
+    fractions = {day: b["v6"] / b["total"] for day, b in days.items()}
+    values = np.asarray(list(fractions.values()))
+    low_cut = float(np.quantile(values, low_quantile))
+    high_cut = float(np.quantile(values, high_quantile))
+
+    def build(day: int) -> HeavyHitterDay:
+        bucket = days[day]
+        ranked = sorted(bucket["by_asn"].items(), key=lambda kv: -kv[1])[:top_ases]
+        return HeavyHitterDay(
+            day=day,
+            fraction_v6=fractions[day],
+            total_bytes=bucket["total"],
+            dominant_ases=tuple(ranked),
+        )
+
+    low_days = [build(d) for d in sorted(days) if fractions[d] <= low_cut]
+    high_days = [build(d) for d in sorted(days) if fractions[d] >= high_cut]
+    return low_days, high_days
+
+
+@dataclass(frozen=True)
+class ProtocolMix:
+    """Per-family traffic composition by transport protocol.
+
+    Early IPv6 measurements (Karpilovsky et al., discussed in the paper's
+    related work) found IPv6 to be mostly control traffic (DNS, ICMP).
+    This view checks the modern picture: mature IPv6 should carry data --
+    TCP/UDP bytes dwarfing ICMP -- just as IPv4 does.
+    """
+
+    family: str
+    bytes_by_protocol: dict[str, int]
+    flows_by_protocol: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_protocol.values())
+
+    def byte_share(self, protocol: str) -> float:
+        return _fraction(self.bytes_by_protocol.get(protocol, 0), self.total_bytes)
+
+
+def protocol_mix(
+    dataset: ResidenceDataset, scope: FlowScope = FlowScope.EXTERNAL
+) -> dict[str, ProtocolMix]:
+    """Traffic composition per family ("IPv4"/"IPv6") and protocol."""
+    bytes_by: dict[str, dict[str, int]] = {"IPv4": {}, "IPv6": {}}
+    flows_by: dict[str, dict[str, int]] = {"IPv4": {}, "IPv6": {}}
+    for record in dataset.monitor.records(scope=scope):
+        family = "IPv6" if record.key.is_v6 else "IPv4"
+        protocol = record.key.protocol.name
+        bytes_by[family][protocol] = (
+            bytes_by[family].get(protocol, 0) + record.total_bytes
+        )
+        flows_by[family][protocol] = flows_by[family].get(protocol, 0) + 1
+    return {
+        family: ProtocolMix(
+            family=family,
+            bytes_by_protocol=bytes_by[family],
+            flows_by_protocol=flows_by[family],
+        )
+        for family in ("IPv4", "IPv6")
+    }
+
+
+# -- AS-level view (Figures 3 and 4) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class AsTrafficEntry:
+    """One AS's traffic at one residence."""
+
+    info: AsInfo
+    total_bytes: int
+    v6_bytes: int
+
+    @property
+    def fraction_v6(self) -> float:
+        return _fraction(self.v6_bytes, self.total_bytes)
+
+
+def as_traffic_breakdown(
+    dataset: ResidenceDataset,
+    min_volume_share: float = 0.0001,
+) -> list[AsTrafficEntry]:
+    """Per-AS external traffic, dropping ASes below ``min_volume_share``
+    of the residence's bytes (the paper's 0.01% cut)."""
+    routing = dataset.universe.routing
+    registry = dataset.universe.registry
+    monitor = dataset.monitor
+    per_asn: dict[int, list[int]] = {}
+    grand_total = 0
+    for record in dataset.external_records():
+        peer = monitor.external_peer(record)
+        if peer is None:
+            continue
+        asn = routing.origin_of(peer)
+        if asn is None:
+            continue
+        bucket = per_asn.setdefault(asn, [0, 0])
+        volume = record.total_bytes
+        bucket[0] += volume
+        grand_total += volume
+        if record.key.is_v6:
+            bucket[1] += volume
+    threshold = grand_total * min_volume_share
+    entries = []
+    for asn, (total, v6) in per_asn.items():
+        if total < threshold:
+            continue
+        info = registry.lookup(asn)
+        if info is None:
+            continue
+        entries.append(AsTrafficEntry(info=info, total_bytes=total, v6_bytes=v6))
+    entries.sort(key=lambda e: e.total_bytes, reverse=True)
+    return entries
+
+
+def shared_as_box_stats(
+    datasets: dict[str, ResidenceDataset],
+    min_residences: int = 3,
+    min_volume_share: float = 0.0001,
+) -> dict[AsCategory, list[tuple[AsInfo, BoxStats]]]:
+    """Figure 4: per-AS IPv6 byte-fraction box stats across residences.
+
+    Only ASes observed at ``min_residences`` or more residences are kept;
+    within each category ASes are sorted by median fraction, descending.
+    """
+    per_as_fractions: dict[int, list[float]] = {}
+    infos: dict[int, AsInfo] = {}
+    for dataset in datasets.values():
+        for entry in as_traffic_breakdown(dataset, min_volume_share):
+            per_as_fractions.setdefault(entry.info.asn, []).append(entry.fraction_v6)
+            infos[entry.info.asn] = entry.info
+    grouped: dict[AsCategory, list[tuple[AsInfo, BoxStats]]] = {}
+    for asn, fractions in per_as_fractions.items():
+        if len(fractions) < min_residences:
+            continue
+        stats = box_stats(fractions)
+        grouped.setdefault(infos[asn].category, []).append((infos[asn], stats))
+    for entries in grouped.values():
+        entries.sort(key=lambda pair: pair[1].median, reverse=True)
+    return grouped
+
+
+# -- Domain-level view (Figure 17) -------------------------------------------
+
+
+@dataclass(frozen=True)
+class DomainTrafficEntry:
+    """One reverse-DNS domain's traffic at one residence."""
+
+    domain: str
+    total_bytes: int
+    v6_bytes: int
+
+    @property
+    def fraction_v6(self) -> float:
+        return _fraction(self.v6_bytes, self.total_bytes)
+
+
+def domain_traffic_breakdown(dataset: ResidenceDataset) -> list[DomainTrafficEntry]:
+    """Per-domain (rDNS eTLD+1) external traffic at one residence."""
+    rdns = dataset.universe.rdns
+    monitor = dataset.monitor
+    psl = default_psl()
+    per_domain: dict[str, list[int]] = {}
+    for record in dataset.external_records():
+        peer = monitor.external_peer(record)
+        if peer is None:
+            continue
+        domain = rdns.lookup_etld1(peer, psl)
+        if domain is None:
+            continue
+        bucket = per_domain.setdefault(domain, [0, 0])
+        bucket[0] += record.total_bytes
+        if record.key.is_v6:
+            bucket[1] += record.total_bytes
+    entries = [
+        DomainTrafficEntry(domain=domain, total_bytes=total, v6_bytes=v6)
+        for domain, (total, v6) in per_domain.items()
+    ]
+    entries.sort(key=lambda e: e.total_bytes, reverse=True)
+    return entries
+
+
+def shared_domain_box_stats(
+    datasets: dict[str, ResidenceDataset],
+    min_residences: int = 3,
+    min_bytes: int = 100_000_000,
+) -> list[tuple[str, BoxStats]]:
+    """Figure 17: per-domain fraction box stats for domains seen at
+    ``min_residences``+ residences with at least ``min_bytes`` total."""
+    fractions: dict[str, list[float]] = {}
+    volumes: dict[str, int] = {}
+    for dataset in datasets.values():
+        for entry in domain_traffic_breakdown(dataset):
+            fractions.setdefault(entry.domain, []).append(entry.fraction_v6)
+            volumes[entry.domain] = volumes.get(entry.domain, 0) + entry.total_bytes
+    rows = [
+        (domain, box_stats(values))
+        for domain, values in fractions.items()
+        if len(values) >= min_residences and volumes[domain] >= min_bytes
+    ]
+    rows.sort(key=lambda pair: pair[1].median, reverse=True)
+    return rows

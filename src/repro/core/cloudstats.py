@@ -1,0 +1,315 @@
+"""Cloud-provider IPv6 adoption analysis (paper section 5).
+
+Works from crawl records plus the attribution substrates:
+
+* :func:`attribute_domains` resolves every crawled FQDN's A/AAAA
+  addresses to owning organizations via BGP origin + AS-to-Org -- and so
+  inherits the paper's attribution artifacts: a domain whose A and AAAA
+  originate from different organizations (bunny.net/Datacamp, the two
+  Akamai entities) appears as *IPv6-only* under one org and *IPv4-only*
+  under the other.
+* :func:`cloud_provider_breakdown` -- Figure 11 / Table 3.
+* :func:`multicloud_tenants` + :func:`cloud_pair_heatmap` -- Figure 12:
+  pairwise two-sided Wilcoxon signed-rank tests over tenants shared by
+  two clouds, effect size r, Holm-Bonferroni corrected.
+* :func:`service_adoption_table` -- Table 2: per-service adoption via
+  CNAME-chain service fingerprinting (after He et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cloud.providers import CloudProvider, CloudService
+from repro.crawler.records import CrawlDataset
+from repro.net.addr import IpAddress
+from repro.net.asn import AsRegistry, Organization
+from repro.net.bgp import RoutingTable
+from repro.net.psl import PublicSuffixList, default_psl
+from repro.util.stats import HolmBonferroni, wilcoxon_signed_rank
+
+
+@dataclass(frozen=True)
+class DomainCloudView:
+    """One FQDN's cloud attribution."""
+
+    fqdn: str
+    has_a: bool
+    has_aaaa: bool
+    v4_org: Organization | None
+    v6_org: Organization | None
+    cname_chain: tuple[str, ...]
+
+    @property
+    def split_origin(self) -> bool:
+        """A and AAAA served from different organizations."""
+        return (
+            self.v4_org is not None
+            and self.v6_org is not None
+            and self.v4_org != self.v6_org
+        )
+
+
+def attribute_domains(
+    dataset: CrawlDataset,
+    routing: RoutingTable,
+    registry: AsRegistry,
+) -> dict[str, DomainCloudView]:
+    """Attribute every crawled FQDN to organizations, as the paper does:
+    "by the AS that originates the BGP prefix containing the domain's IP
+    address", mapped to organizations via the AS-to-Org dataset."""
+
+    def org_of(addresses: tuple[IpAddress, ...]) -> Organization | None:
+        if not addresses:
+            return None
+        asn = routing.origin_of(addresses[0])
+        return registry.organization_of(asn) if asn is not None else None
+
+    views: dict[str, DomainCloudView] = {}
+    for record in dataset.all_requests():
+        if record.fqdn in views:
+            continue
+        views[record.fqdn] = DomainCloudView(
+            fqdn=record.fqdn,
+            has_a=record.has_a,
+            has_aaaa=record.has_aaaa,
+            v4_org=org_of(record.v4_addresses),
+            v6_org=org_of(record.v6_addresses),
+            cname_chain=record.cname_chain,
+        )
+    return views
+
+
+@dataclass
+class CloudProviderStats:
+    """One row of Table 3 / one bar of Figure 11."""
+
+    org: Organization
+    ipv4_only: int = 0
+    ipv6_full: int = 0
+    ipv6_only: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.ipv4_only + self.ipv6_full + self.ipv6_only
+
+    def share(self, count: int) -> float:
+        return count / self.total if self.total else 0.0
+
+
+def cloud_provider_breakdown(
+    views: dict[str, DomainCloudView],
+) -> list[CloudProviderStats]:
+    """Figure 11 / Table 3: per-organization domain counts by IPv6 status.
+
+    A domain counts under the organization hosting each of its address
+    families: dual-stack domains served by one org count there as
+    IPv6-full; a split-origin domain counts as IPv6-only at the AAAA org
+    and IPv4-only at the A org (the paper's Bunnyway/Akamai artifact).
+    """
+    stats: dict[str, CloudProviderStats] = {}
+
+    def bucket(org: Organization) -> CloudProviderStats:
+        entry = stats.get(org.org_id)
+        if entry is None:
+            entry = stats[org.org_id] = CloudProviderStats(org=org)
+        return entry
+
+    for view in views.values():
+        if view.v4_org is not None and view.v6_org is not None:
+            if view.v4_org == view.v6_org:
+                bucket(view.v4_org).ipv6_full += 1
+            else:
+                bucket(view.v4_org).ipv4_only += 1
+                bucket(view.v6_org).ipv6_only += 1
+        elif view.v4_org is not None:
+            bucket(view.v4_org).ipv4_only += 1
+        elif view.v6_org is not None:
+            bucket(view.v6_org).ipv6_only += 1
+    return sorted(stats.values(), key=lambda s: (-s.total, s.org.org_id))
+
+
+def overall_domain_counts(views: dict[str, DomainCloudView]) -> tuple[int, int, int, int]:
+    """Table 3's Overall row: (total, ipv4_only, ipv6_full, ipv6_only),
+    counting each domain once by its DNS state."""
+    total = ipv4_only = full = v6_only = 0
+    for view in views.values():
+        if not view.has_a and not view.has_aaaa:
+            continue
+        total += 1
+        if view.has_a and view.has_aaaa:
+            full += 1
+        elif view.has_a:
+            ipv4_only += 1
+        else:
+            v6_only += 1
+    return total, ipv4_only, full, v6_only
+
+
+# -- Figure 12: multi-cloud tenant comparisons --------------------------------
+
+
+def multicloud_tenants(
+    views: dict[str, DomainCloudView],
+    psl: PublicSuffixList | None = None,
+) -> dict[str, dict[str, list[bool]]]:
+    """Group crawled FQDNs into tenants (eTLD+1) and their per-org
+    subdomain IPv6 outcomes; keep tenants spanning >= 2 organizations.
+
+    Returns tenant -> org name -> list of per-subdomain IPv6-full flags.
+    """
+    psl = psl or default_psl()
+    tenants: dict[str, dict[str, list[bool]]] = {}
+    for view in views.values():
+        if view.v4_org is None:
+            continue
+        etld1 = psl.etld_plus_one(view.fqdn)
+        if etld1 is None:
+            continue
+        org_name = view.v4_org.name
+        tenants.setdefault(etld1, {}).setdefault(org_name, []).append(
+            view.has_aaaa
+        )
+    return {
+        tenant: by_org
+        for tenant, by_org in tenants.items()
+        if len(by_org) >= 2
+    }
+
+
+@dataclass(frozen=True)
+class CloudPairComparison:
+    """One cell of Figure 12's heatmap."""
+
+    org_a: str
+    org_b: str
+    n_shared: int
+    n_differing: int
+    effect_size: float  # r > 0: org_a more IPv6-full for shared tenants
+    p_value: float
+    significant: bool
+
+    @property
+    def comparable(self) -> bool:
+        return self.n_differing >= 2
+
+
+def cloud_pair_heatmap(
+    tenants: dict[str, dict[str, list[bool]]],
+    alpha: float = 0.05,
+    min_differing: int = 2,
+) -> list[CloudPairComparison]:
+    """Figure 12: pairwise Wilcoxon signed-rank comparisons of clouds.
+
+    For each ordered-once pair of organizations, collect tenants hosted on
+    both; each tenant contributes its per-cloud fraction of IPv6-full
+    subdomains.  Pairs with fewer than ``min_differing`` differing tenants
+    are reported as not comparable; the rest are tested two-sided with
+    effect size r, then Holm-Bonferroni corrected at ``alpha``.
+    """
+    org_names = sorted({org for by_org in tenants.values() for org in by_org})
+    raw: list[CloudPairComparison] = []
+    corrector = HolmBonferroni(alpha=alpha)
+    testable_indices: list[int] = []
+    for i, org_a in enumerate(org_names):
+        for org_b in org_names[i + 1 :]:
+            first: list[float] = []
+            second: list[float] = []
+            for by_org in tenants.values():
+                if org_a in by_org and org_b in by_org:
+                    first.append(sum(by_org[org_a]) / len(by_org[org_a]))
+                    second.append(sum(by_org[org_b]) / len(by_org[org_b]))
+            differing = sum(1 for x, y in zip(first, second) if x != y)
+            if differing < min_differing:
+                raw.append(
+                    CloudPairComparison(
+                        org_a=org_a, org_b=org_b, n_shared=len(first),
+                        n_differing=differing, effect_size=0.0, p_value=1.0,
+                        significant=False,
+                    )
+                )
+                continue
+            result = wilcoxon_signed_rank(first, second, zero_method="pratt")
+            testable_indices.append(len(raw))
+            corrector.add(result.p_value)
+            raw.append(
+                CloudPairComparison(
+                    org_a=org_a, org_b=org_b, n_shared=len(first),
+                    n_differing=differing, effect_size=result.effect_size,
+                    p_value=result.p_value, significant=False,
+                )
+            )
+    rejections = corrector.rejections()
+    for index, rejected in zip(testable_indices, rejections):
+        cell = raw[index]
+        raw[index] = CloudPairComparison(
+            org_a=cell.org_a, org_b=cell.org_b, n_shared=cell.n_shared,
+            n_differing=cell.n_differing, effect_size=cell.effect_size,
+            p_value=cell.p_value, significant=rejected,
+        )
+    return raw
+
+
+def rank_clouds_by_wins(comparisons: list[CloudPairComparison]) -> list[str]:
+    """Order organizations by how often they significantly beat others
+    (the row/column order of Figure 12)."""
+    scores: dict[str, float] = {}
+    for cell in comparisons:
+        scores.setdefault(cell.org_a, 0.0)
+        scores.setdefault(cell.org_b, 0.0)
+        if not cell.significant:
+            continue
+        scores[cell.org_a] += cell.effect_size
+        scores[cell.org_b] -= cell.effect_size
+    return sorted(scores, key=lambda org: -scores[org])
+
+
+# -- Table 2: per-service adoption --------------------------------------------
+
+
+@dataclass
+class ServiceAdoptionRow:
+    """One row of Table 2."""
+
+    provider: CloudProvider
+    service: CloudService
+    total: int = 0
+    ipv6_ready: int = 0
+
+    @property
+    def share(self) -> float:
+        return self.ipv6_ready / self.total if self.total else 0.0
+
+
+def service_adoption_table(
+    views: dict[str, DomainCloudView],
+    service_of_cname: Callable[[str], tuple[CloudProvider, CloudService] | None],
+    min_domains: int = 1,
+) -> list[ServiceAdoptionRow]:
+    """Table 2: identify each FQDN's cloud service from its CNAME chain
+    and count IPv6-ready domains per service.
+
+    ``service_of_cname`` maps a canonical name to (provider, service); in
+    the paper this role is played by manually mapping CNAME suffixes to
+    services using provider documentation.
+    """
+    rows: dict[str, ServiceAdoptionRow] = {}
+    for view in views.values():
+        if len(view.cname_chain) < 2:
+            continue  # no CNAME: not identifiable as a managed service
+        identified = service_of_cname(view.cname_chain[-1])
+        if identified is None:
+            continue
+        provider, service = identified
+        row = rows.get(service.cname_suffix)
+        if row is None:
+            row = rows[service.cname_suffix] = ServiceAdoptionRow(
+                provider=provider, service=service
+            )
+        row.total += 1
+        if view.has_aaaa:
+            row.ipv6_ready += 1
+    table = [row for row in rows.values() if row.total >= min_domains]
+    table.sort(key=lambda row: (row.provider.name, -row.share, row.service.name))
+    return table

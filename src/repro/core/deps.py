@@ -1,0 +1,221 @@
+"""Which resources hold IPv6-partial websites back (paper section 4.3).
+
+Implements the paper's dependency metrics over a census run:
+
+* per-partial-site counts and fractions of IPv4-only resources (Figure 7);
+* per-domain **span** (how many partial sites depend on an IPv4-only
+  eTLD+1) and **median contribution** (the median, over dependent sites,
+  of the share of a site's IPv4-only resources the domain supplies) --
+  both from Bajpai & Schoenwaelder, extended here to full-depth crawls
+  (Figure 8);
+* first- vs. third-party attribution of IPv4-only domains (the paper's
+  565-site first-party-only population);
+* the what-if simulation: enable IPv6 on IPv4-only domains in descending
+  span order and count partial sites turning full (Figure 10);
+* heavy-hitter categorization (Figure 9) and the domain-by-resource-type
+  matrix (Figure 18);
+* the version-split misclassification estimate of section 4.4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.crawler.records import CrawlDataset, RequestRecord, SiteCrawlResult
+from repro.core.readiness import SiteClass, classify_site
+from repro.net.psl import PublicSuffixList, default_psl
+from repro.web.resources import ResourceCategory, ResourceType
+
+#: Substrings marking deliberately protocol-specific hostnames (section 4.4).
+VERSION_MARKERS = ("v4", "ipv4", "px4")
+
+
+@dataclass
+class DomainImpact:
+    """One IPv4-only eTLD+1 domain's impact on partial sites."""
+
+    domain: str
+    dependent_sites: list[str] = field(default_factory=list)
+    contributions: list[float] = field(default_factory=list)
+    is_third_party_anywhere: bool = False
+    resource_type_sites: Counter = field(default_factory=Counter)
+
+    @property
+    def span(self) -> int:
+        return len(self.dependent_sites)
+
+    @property
+    def median_contribution(self) -> float:
+        return float(np.median(self.contributions)) if self.contributions else 0.0
+
+
+@dataclass
+class DependencyAnalysis:
+    """Everything section 4.3 computes from one census run."""
+
+    partial_sites: list[str]
+    v4only_resource_counts: list[int]
+    v4only_resource_fractions: list[float]
+    domain_impacts: dict[str, DomainImpact]
+    first_party_only_sites: list[str]
+    site_pending_domains: dict[str, set[str]]
+
+    @property
+    def num_partial(self) -> int:
+        return len(self.partial_sites)
+
+    def impacts_by_span(self) -> list[DomainImpact]:
+        return sorted(
+            self.domain_impacts.values(),
+            key=lambda impact: (-impact.span, impact.domain),
+        )
+
+    def heavy_hitters(self, min_span: int) -> list[DomainImpact]:
+        return [i for i in self.impacts_by_span() if i.span >= min_span]
+
+
+def _partial_site_v4only(
+    result: SiteCrawlResult,
+) -> tuple[list[RequestRecord], list[RequestRecord]]:
+    """(successful resources, the IPv4-only subset) for one site."""
+    fetched = [r for r in result.resource_requests() if r.succeeded]
+    v4only = [r for r in fetched if not r.has_aaaa]
+    return fetched, v4only
+
+
+def analyze_dependencies(
+    dataset: CrawlDataset, psl: PublicSuffixList | None = None
+) -> DependencyAnalysis:
+    """Run the full section 4.3 analysis over a census."""
+    psl = psl or default_psl()
+    partial_sites: list[str] = []
+    counts: list[int] = []
+    fractions: list[float] = []
+    impacts: dict[str, DomainImpact] = {}
+    first_party_only: list[str] = []
+    pending: dict[str, set[str]] = {}
+
+    for result in dataset.connected_results():
+        if classify_site(result) is not SiteClass.IPV6_PARTIAL:
+            continue
+        fetched, v4only = _partial_site_v4only(result)
+        partial_sites.append(result.site)
+        counts.append(len(v4only))
+        fractions.append(len(v4only) / len(fetched) if fetched else 0.0)
+
+        by_domain: dict[str, list[RequestRecord]] = {}
+        for record in v4only:
+            domain = psl.etld_plus_one(record.fqdn) or record.fqdn
+            by_domain.setdefault(domain, []).append(record)
+        pending[result.site] = set(by_domain)
+        if all(domain == result.site for domain in by_domain):
+            first_party_only.append(result.site)
+        for domain, records in by_domain.items():
+            impact = impacts.setdefault(domain, DomainImpact(domain=domain))
+            impact.dependent_sites.append(result.site)
+            impact.contributions.append(len(records) / len(v4only))
+            if domain != result.site:
+                impact.is_third_party_anywhere = True
+            for rtype in {r.resource_type for r in records}:
+                impact.resource_type_sites[rtype] += 1
+
+    return DependencyAnalysis(
+        partial_sites=partial_sites,
+        v4only_resource_counts=counts,
+        v4only_resource_fractions=fractions,
+        domain_impacts=impacts,
+        first_party_only_sites=first_party_only,
+        site_pending_domains=pending,
+    )
+
+
+def whatif_adoption_curve(analysis: DependencyAnalysis) -> list[tuple[int, int]]:
+    """Figure 10: IPv4-only domains adopt IPv6 in descending span order;
+    after each adoption, how many partial sites have become IPv6-full?
+
+    Returns a list of (domains adopted so far, cumulative sites full).
+    """
+    pending = {site: set(domains) for site, domains in analysis.site_pending_domains.items()}
+    remaining = {site for site, domains in pending.items() if domains}
+    curve: list[tuple[int, int]] = []
+    full = len(pending) - len(remaining)
+    for adopted, impact in enumerate(analysis.impacts_by_span(), start=1):
+        newly_full = []
+        for site in impact.dependent_sites:
+            domains = pending.get(site)
+            if domains is None:
+                continue
+            domains.discard(impact.domain)
+            if not domains and site in remaining:
+                newly_full.append(site)
+        for site in newly_full:
+            remaining.discard(site)
+        full = len(pending) - len(remaining)
+        curve.append((adopted, full))
+    return curve
+
+
+def heavy_hitter_categories(
+    analysis: DependencyAnalysis,
+    category_of: Callable[[str], ResourceCategory | None],
+    min_span: int,
+) -> Counter:
+    """Figure 9: categories of high-span IPv4-only domains.
+
+    ``category_of`` plays the role of VirusTotal's domain categorization;
+    domains it cannot categorize are counted under ``None``.
+    """
+    histogram: Counter = Counter()
+    for impact in analysis.heavy_hitters(min_span):
+        histogram[category_of(impact.domain)] += 1
+    return histogram
+
+
+def resource_type_matrix(
+    analysis: DependencyAnalysis, top_k: int = 20
+) -> tuple[list[str], list[ResourceType], np.ndarray]:
+    """Figure 18: top IPv4-only domains (by span) x resource types.
+
+    Cell (i, j) counts the IPv6-partial sites where domain i served
+    resource type j.  Returns (domains, types, matrix).
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    top = analysis.impacts_by_span()[:top_k]
+    types = sorted(
+        {rtype for impact in top for rtype in impact.resource_type_sites},
+        key=lambda t: t.value,
+    )
+    matrix = np.zeros((len(top), len(types)), dtype=int)
+    for i, impact in enumerate(top):
+        for j, rtype in enumerate(types):
+            matrix[i, j] = impact.resource_type_sites.get(rtype, 0)
+    return [impact.domain for impact in top], types, matrix
+
+
+def estimate_version_split_misclassification(
+    dataset: CrawlDataset, psl: PublicSuffixList | None = None
+) -> tuple[int, int]:
+    """Section 4.4: partial sites whose IPv4-only resources *all* carry
+    protocol-specific name markers (v4/ipv4/px4) -- likely deliberate
+    dual-stack splits misclassified as partial.
+
+    Returns (suspected misclassifications, total partial sites).
+    """
+    suspected = 0
+    total = 0
+    for result in dataset.connected_results():
+        if classify_site(result) is not SiteClass.IPV6_PARTIAL:
+            continue
+        total += 1
+        _, v4only = _partial_site_v4only(result)
+        if v4only and all(
+            any(marker in record.fqdn for marker in VERSION_MARKERS)
+            for record in v4only
+        ):
+            suspected += 1
+    return suspected, total

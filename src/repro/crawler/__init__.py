@@ -1,0 +1,24 @@
+"""The OpenWPM-style web census crawler (paper section 4.1).
+
+For each top-list site the crawler loads the main page with a simulated
+dual-stack browser, resolves every embedded resource to arbitrary depth
+(scripts pulling in further third parties), follows redirects, clicks up
+to five random same-eTLD+1 links, and records per-request DNS outcomes,
+the addresses involved, and which family Happy Eyeballs actually used.
+"""
+
+from repro.crawler.browser import BrowserConfig, FetchOutcome, SimulatedBrowser
+from repro.crawler.crawl import CensusConfig, WebCensus
+from repro.crawler.records import CrawlDataset, RequestRecord, SiteCrawlResult, SiteFailure
+
+__all__ = [
+    "BrowserConfig",
+    "FetchOutcome",
+    "SimulatedBrowser",
+    "CensusConfig",
+    "WebCensus",
+    "CrawlDataset",
+    "RequestRecord",
+    "SiteCrawlResult",
+    "SiteFailure",
+]

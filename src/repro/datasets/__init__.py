@@ -1,0 +1,21 @@
+"""Canonical calibrated scenarios shared by examples, tests, and benches."""
+
+from repro.datasets.scenarios import (
+    BENCH_CENSUS_SITES,
+    BENCH_TRAFFIC_DAYS,
+    PAPER_OBSERVATION_DAYS,
+    build_census,
+    build_residence_study,
+    census_scenario,
+    residence_scenario,
+)
+
+__all__ = [
+    "BENCH_CENSUS_SITES",
+    "BENCH_TRAFFIC_DAYS",
+    "PAPER_OBSERVATION_DAYS",
+    "build_census",
+    "build_residence_study",
+    "census_scenario",
+    "residence_scenario",
+]

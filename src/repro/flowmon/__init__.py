@@ -1,0 +1,36 @@
+"""The router flow monitor: conntrack events, daily logs, anonymized export.
+
+This is the measurement apparatus of the paper's section 3.1: a lightweight
+monitor on the home router that records flow beginnings and ends from
+connection-tracking events (conntrack NEW and DESTROY), with per-direction
+byte accounting (``nf_conntrack_acct``), identifies flows by their 5-tuple
+(plus ICMP type/code/id), logs them daily, and uploads CryptoPAN-anonymized
+records to the collection server.
+"""
+
+from repro.flowmon.conntrack import (
+    ConntrackEvent,
+    ConntrackEventType,
+    ConntrackTable,
+    FlowKey,
+    FlowRecord,
+    IcmpInfo,
+    Protocol,
+)
+from repro.flowmon.export import AnonymizedRecord, FlowExporter
+from repro.flowmon.monitor import FlowMonitor, FlowScope, RouterConfig
+
+__all__ = [
+    "ConntrackEvent",
+    "ConntrackEventType",
+    "ConntrackTable",
+    "FlowKey",
+    "FlowRecord",
+    "IcmpInfo",
+    "Protocol",
+    "AnonymizedRecord",
+    "FlowExporter",
+    "FlowMonitor",
+    "FlowScope",
+    "RouterConfig",
+]

@@ -1,0 +1,74 @@
+"""Anonymized export of flow logs (the daily upload of section 3.1/appendix A).
+
+Before records leave the router, client addresses are pseudonymized with
+CryptoPAN: the low 8 bits of IPv4 and the low /64 of IPv6 are scrambled
+prefix-preservingly, so analyses can still aggregate by network while
+individual hosts stay unidentifiable.  Server (non-local) addresses pass
+through unchanged -- the analyses need them for AS and reverse-DNS
+attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flowmon.conntrack import FlowRecord, Protocol
+from repro.flowmon.monitor import FlowMonitor, FlowScope
+from repro.net.addr import IpAddress
+from repro.net.cryptopan import CryptoPan
+
+
+@dataclass(frozen=True)
+class AnonymizedRecord:
+    """One uploaded flow record, client side pseudonymized.
+
+    ``peer`` is the external endpoint (cleartext, for service attribution);
+    for internal flows both endpoints are anonymized and ``peer`` is None.
+    """
+
+    residence: str
+    scope: FlowScope
+    protocol: Protocol
+    is_v6: bool
+    start_time: float
+    end_time: float
+    bytes_total: int
+    anonymized_src: IpAddress
+    anonymized_dst: IpAddress
+    peer: IpAddress | None
+
+
+class FlowExporter:
+    """Turns a monitor's daily logs into anonymized upload batches."""
+
+    def __init__(self, monitor: FlowMonitor, key: bytes) -> None:
+        self._monitor = monitor
+        self._pan = CryptoPan(key)
+
+    def _maybe_anonymize(self, address: IpAddress) -> IpAddress:
+        if self._monitor.config.is_local(address):
+            return self._pan.anonymize_client(address)
+        return address
+
+    def export_record(self, record: FlowRecord) -> AnonymizedRecord:
+        scope = self._monitor.classify(record)
+        peer = self._monitor.external_peer(record) if scope is FlowScope.EXTERNAL else None
+        return AnonymizedRecord(
+            residence=self._monitor.config.name,
+            scope=scope,
+            protocol=record.key.protocol,
+            is_v6=record.key.is_v6,
+            start_time=record.start_time,
+            end_time=record.end_time,
+            bytes_total=record.total_bytes,
+            anonymized_src=self._maybe_anonymize(record.key.src),
+            anonymized_dst=self._maybe_anonymize(record.key.dst),
+            peer=peer,
+        )
+
+    def export_day(self, day: int) -> list[AnonymizedRecord]:
+        """The daily upload batch for ``day`` (all scopes)."""
+        return [self.export_record(r) for r in self._monitor.records(day=day)]
+
+    def export_all(self) -> list[AnonymizedRecord]:
+        return [self.export_record(r) for r in self._monitor.records()]

@@ -1,0 +1,268 @@
+"""Authoritative DNS zones and a CNAME-chasing stub resolver.
+
+The server-side census rests entirely on DNS semantics the paper leans on:
+
+* a site is **IPv4-only** when its name has A records but no AAAA,
+* **loading-failure (NXDOMAIN)** when the name does not exist,
+* cloud *services* are identified by following chains of CNAMEs to
+  provider-operated suffixes (section 5.3, after He et al.).
+
+So the resolver here distinguishes NXDOMAIN (no records of any type for the
+name) from NODATA (the name exists but not for the queried type), follows
+CNAME chains with loop protection, and reports the full chain so the cloud
+analysis can inspect canonical names.  Failure injection (per-name SERVFAIL
+or timeouts) models the transient errors behind the paper's
+"Loading-Failure (Others)" row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.addr import Family, IpAddress
+
+#: Maximum CNAME chain length before the resolver declares a failure.
+MAX_CNAME_CHAIN = 8
+
+
+class DnsRecordType(enum.Enum):
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    PTR = "PTR"
+    NS = "NS"
+    TXT = "TXT"
+
+
+class DnsStatus(enum.Enum):
+    """Resolution outcome, mirroring RCODE semantics we need."""
+
+    NOERROR = "NOERROR"
+    NXDOMAIN = "NXDOMAIN"
+    SERVFAIL = "SERVFAIL"
+    TIMEOUT = "TIMEOUT"
+    CHAIN_TOO_LONG = "CHAIN_TOO_LONG"
+
+
+class DnsError(Exception):
+    """Raised for malformed zone data, not for resolution failures."""
+
+
+def normalize_name(name: str) -> str:
+    """Canonicalize a domain name: lowercase, no trailing dot.
+
+    Raises:
+        DnsError: for empty names or empty labels (``a..b``).
+    """
+    name = name.strip().rstrip(".").lower()
+    if not name:
+        raise DnsError("empty domain name")
+    for label in name.split("."):
+        if not label:
+            raise DnsError(f"empty label in domain name {name!r}")
+        if len(label) > 63:
+            raise DnsError(f"label too long in domain name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """One resource record.  ``value`` is an address for A/AAAA, text otherwise."""
+
+    name: str
+    rtype: DnsRecordType
+    value: IpAddress | str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.rtype is DnsRecordType.A:
+            if not isinstance(self.value, IpAddress) or self.value.family is not Family.V4:
+                raise DnsError(f"A record for {self.name} must carry an IPv4 address")
+        elif self.rtype is DnsRecordType.AAAA:
+            if not isinstance(self.value, IpAddress) or self.value.family is not Family.V6:
+                raise DnsError(f"AAAA record for {self.name} must carry an IPv6 address")
+        elif isinstance(self.value, IpAddress):
+            raise DnsError(f"{self.rtype.value} record for {self.name} must carry text")
+        else:
+            object.__setattr__(self, "value", normalize_name(str(self.value)))
+
+
+@dataclass
+class Zone:
+    """An authoritative zone: a bag of records under one origin."""
+
+    origin: str
+    _records: dict[tuple[str, DnsRecordType], list[DnsRecord]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.origin = normalize_name(self.origin)
+
+    def add(self, name: str, rtype: DnsRecordType, value: IpAddress | str) -> DnsRecord:
+        """Add a record; the name must fall inside the zone origin.
+
+        Raises:
+            DnsError: if the name is outside the zone, or a CNAME would
+                coexist with other records at the same name (RFC 1034).
+        """
+        record = DnsRecord(name=name, rtype=rtype, value=value)
+        if record.name != self.origin and not record.name.endswith("." + self.origin):
+            raise DnsError(f"{record.name} is outside zone {self.origin}")
+        if rtype is DnsRecordType.CNAME and self._has_any_record(record.name):
+            raise DnsError(f"CNAME at {record.name} conflicts with existing records")
+        if rtype is not DnsRecordType.CNAME and (record.name, DnsRecordType.CNAME) in self._records:
+            raise DnsError(f"{record.name} already has a CNAME; no other types allowed")
+        self._records.setdefault((record.name, rtype), []).append(record)
+        return record
+
+    def _has_any_record(self, name: str) -> bool:
+        return any(key[0] == name for key in self._records)
+
+    def remove(self, name: str, rtype: DnsRecordType) -> int:
+        """Remove all records of ``rtype`` at ``name``; returns the count."""
+        name = normalize_name(name)
+        removed = self._records.pop((name, rtype), [])
+        return len(removed)
+
+    def name_exists(self, name: str) -> bool:
+        """True if any record exists at ``name`` (distinguishes NODATA)."""
+        name = normalize_name(name)
+        return self._has_any_record(name)
+
+    def lookup(self, name: str, rtype: DnsRecordType) -> list[DnsRecord]:
+        name = normalize_name(name)
+        return list(self._records.get((name, rtype), []))
+
+    def names(self) -> set[str]:
+        return {key[0] for key in self._records}
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._records.values())
+
+
+@dataclass
+class ZoneDatabase:
+    """All authoritative data in the simulated universe.
+
+    Zone selection for a query name is by longest matching origin suffix,
+    as a real delegation hierarchy would produce.
+    """
+
+    _zones: dict[str, Zone] = field(default_factory=dict)
+
+    def create_zone(self, origin: str) -> Zone:
+        origin = normalize_name(origin)
+        if origin in self._zones:
+            raise DnsError(f"zone {origin} already exists")
+        zone = Zone(origin=origin)
+        self._zones[origin] = zone
+        return zone
+
+    def get_or_create_zone(self, origin: str) -> Zone:
+        origin = normalize_name(origin)
+        zone = self._zones.get(origin)
+        return zone if zone is not None else self.create_zone(origin)
+
+    def zone_for(self, name: str) -> Zone | None:
+        """The most-specific zone whose origin is a suffix of ``name``."""
+        name = normalize_name(name)
+        labels = name.split(".")
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            zone = self._zones.get(candidate)
+            if zone is not None:
+                return zone
+        return None
+
+    def zones(self) -> list[Zone]:
+        return [self._zones[origin] for origin in sorted(self._zones)]
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """The resolver's answer to one query.
+
+    Attributes:
+        status: outcome; answers are only meaningful for NOERROR.
+        answers: terminal records of the queried type (post-CNAME).
+        chain: the CNAME chain followed, starting with the query name;
+            ``chain[-1]`` is the canonical name that held (or lacked) data.
+        question: the (name, type) asked.
+    """
+
+    status: DnsStatus
+    answers: tuple[DnsRecord, ...]
+    chain: tuple[str, ...]
+    question: tuple[str, DnsRecordType]
+
+    @property
+    def canonical_name(self) -> str:
+        return self.chain[-1]
+
+    @property
+    def addresses(self) -> tuple[IpAddress, ...]:
+        return tuple(
+            record.value for record in self.answers if isinstance(record.value, IpAddress)
+        )
+
+    @property
+    def is_nodata(self) -> bool:
+        """Name exists but has no records of the queried type."""
+        return self.status is DnsStatus.NOERROR and not self.answers
+
+
+@dataclass
+class Resolver:
+    """A stub resolver over a :class:`ZoneDatabase` with failure injection.
+
+    ``inject_failure`` marks a name so every query for it returns the given
+    status; this is how scenarios model flaky authoritative servers and
+    produce the paper's "Loading-Failure (Others)" population.
+    """
+
+    database: ZoneDatabase
+    _forced_failures: dict[str, DnsStatus] = field(default_factory=dict)
+    queries_issued: int = 0
+
+    def inject_failure(self, name: str, status: DnsStatus) -> None:
+        if status is DnsStatus.NOERROR:
+            raise ValueError("cannot inject NOERROR as a failure")
+        self._forced_failures[normalize_name(name)] = status
+
+    def clear_failure(self, name: str) -> None:
+        self._forced_failures.pop(normalize_name(name), None)
+
+    def resolve(self, name: str, rtype: DnsRecordType) -> DnsResponse:
+        """Resolve ``name`` for ``rtype``, following CNAME chains."""
+        name = normalize_name(name)
+        question = (name, rtype)
+        chain: list[str] = [name]
+        current = name
+        for _ in range(MAX_CNAME_CHAIN):
+            forced = self._forced_failures.get(current)
+            self.queries_issued += 1
+            if forced is not None:
+                return DnsResponse(forced, (), tuple(chain), question)
+            zone = self.database.zone_for(current)
+            if zone is None or not zone.name_exists(current):
+                return DnsResponse(DnsStatus.NXDOMAIN, (), tuple(chain), question)
+            direct = zone.lookup(current, rtype)
+            if direct:
+                return DnsResponse(DnsStatus.NOERROR, tuple(direct), tuple(chain), question)
+            cnames = zone.lookup(current, DnsRecordType.CNAME)
+            if not cnames:
+                # NODATA: the name exists, just not for this type.
+                return DnsResponse(DnsStatus.NOERROR, (), tuple(chain), question)
+            target = str(cnames[0].value)
+            if target in chain:
+                return DnsResponse(DnsStatus.SERVFAIL, (), tuple(chain), question)
+            chain.append(target)
+            current = target
+        return DnsResponse(DnsStatus.CHAIN_TOO_LONG, (), tuple(chain), question)
+
+    def resolve_addresses(self, name: str) -> tuple[DnsResponse, DnsResponse]:
+        """Resolve both A and AAAA for ``name`` (the dual-stack query pair)."""
+        return self.resolve(name, DnsRecordType.A), self.resolve(name, DnsRecordType.AAAA)

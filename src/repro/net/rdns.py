@@ -1,0 +1,45 @@
+"""Reverse DNS lookup.
+
+The client-side analysis (paper section 3.4) identifies the domain behind a
+flow "via reverse DNS lookups on destination IP addresses", and runs into
+the known pitfall that cloud-hosted services reverse-map to the *cloud's*
+canonical name, not the tenant's.  :class:`ReverseDns` reproduces both the
+mechanism and the pitfall: server addresses map to whatever PTR name their
+operator registered, which for cloud tenants is the provider's
+infrastructure domain (e.g. ``ec2-x.amazonaws.com``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import IpAddress
+from repro.net.psl import PublicSuffixList
+
+
+@dataclass
+class ReverseDns:
+    """PTR-style mapping from addresses to host names."""
+
+    _ptr: dict[IpAddress, str] = field(default_factory=dict)
+
+    def register(self, address: IpAddress, hostname: str) -> None:
+        """Register (or overwrite) the PTR record for ``address``."""
+        self._ptr[address] = hostname.strip().rstrip(".").lower()
+
+    def lookup(self, address: IpAddress) -> str | None:
+        """The PTR hostname for ``address``, or ``None`` if unregistered."""
+        return self._ptr.get(address)
+
+    def lookup_etld1(self, address: IpAddress, psl: PublicSuffixList) -> str | None:
+        """The eTLD+1 of the PTR hostname (paper's domain aggregation unit)."""
+        hostname = self.lookup(address)
+        if hostname is None:
+            return None
+        return psl.etld_plus_one(hostname)
+
+    def __len__(self) -> int:
+        return len(self._ptr)
+
+    def __contains__(self, address: IpAddress) -> bool:
+        return address in self._ptr

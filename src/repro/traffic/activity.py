@@ -1,0 +1,128 @@
+"""Human activity model: diurnal and weekly rhythms, occupancy, vacations.
+
+The paper's key client-side finding is that IPv6 traffic is *human
+generated*: it peaks in the evening when residents are home, dips when the
+residence empties (Residence A's spring break), and shows only a weak
+weekly pattern because residents are away during the day on weekdays and
+weekends alike (section 3.3).
+
+:class:`ActivityModel` produces per-hour session intensities with exactly
+those properties: an evening peak rising to midnight, a secondary
+mid-morning bump, a mild weekend modulation, day-to-day random variation
+(the high daily standard deviations in Table 1), and vacation windows that
+zero out *human* activity while background machine traffic carries on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.rng import RngStream
+
+#: Relative human activity by hour of day.  Calibrated to Figure 2's daily
+#: component: strong evening rise peaking toward midnight, a secondary
+#: mid-morning peak, and a deep early-morning trough.
+DEFAULT_HOUR_CURVE = (
+    0.55, 0.30, 0.15, 0.08, 0.05, 0.06,  # 00-05: tail of the evening, night
+    0.12, 0.25, 0.45, 0.60, 0.55, 0.45,  # 06-11: morning, mid-morning bump
+    0.35, 0.30, 0.28, 0.30, 0.38, 0.55,  # 12-17: away at work/school
+    0.75, 0.95, 1.10, 1.25, 1.35, 1.00,  # 18-23: evening peak to midnight
+)
+
+
+@dataclass(frozen=True)
+class VacationWindow:
+    """Days (inclusive range) when the residence is unoccupied."""
+
+    start_day: int
+    end_day: int
+
+    def __post_init__(self) -> None:
+        if self.end_day < self.start_day:
+            raise ValueError("vacation cannot end before it starts")
+
+    def contains(self, day: int) -> bool:
+        return self.start_day <= day <= self.end_day
+
+
+@dataclass(frozen=True)
+class OccupancyPattern:
+    """A residence's schedule: hour curve plus weekday/weekend factors.
+
+    ``weekend_factor`` close to 1.0 reproduces the paper's weak weekly
+    pattern; larger values would model a stay-home-on-weekends household.
+    """
+
+    hour_curve: tuple[float, ...] = DEFAULT_HOUR_CURVE
+    weekend_factor: float = 1.1
+    day_variability: float = 0.45
+
+    def __post_init__(self) -> None:
+        if len(self.hour_curve) != 24:
+            raise ValueError("hour curve must have 24 entries")
+        if any(v < 0 for v in self.hour_curve):
+            raise ValueError("hour curve entries must be non-negative")
+        if self.weekend_factor <= 0:
+            raise ValueError("weekend_factor must be positive")
+        if self.day_variability < 0:
+            raise ValueError("day_variability must be non-negative")
+
+
+@dataclass
+class ActivityModel:
+    """Generates session start times for one residence.
+
+    Attributes:
+        daily_sessions: mean number of human sessions per occupied day.
+        background_sessions: mean machine sessions per day (vacation-proof).
+        pattern: the household schedule.
+        vacations: windows with no human activity.
+    """
+
+    daily_sessions: float
+    background_sessions: float
+    pattern: OccupancyPattern = field(default_factory=OccupancyPattern)
+    vacations: tuple[VacationWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.daily_sessions < 0 or self.background_sessions < 0:
+            raise ValueError("session rates must be non-negative")
+
+    def is_vacation(self, day: int) -> bool:
+        return any(window.contains(day) for window in self.vacations)
+
+    def day_multiplier(self, day: int, rng: RngStream) -> float:
+        """Random per-day activity level (lognormal with median 1)."""
+        if self.pattern.day_variability == 0:
+            return 1.0
+        return math.exp(rng.normal(0.0, self.pattern.day_variability))
+
+    def human_session_times(self, day: int, rng: RngStream) -> list[float]:
+        """Sim-time starts of human sessions on ``day`` (sorted).
+
+        Sessions are drawn hour-by-hour from a Poisson with the hour
+        curve's intensity, scaled by the weekend factor and the day's
+        random multiplier.  Vacation days yield no sessions.
+        """
+        if self.is_vacation(day):
+            return []
+        weekend = day % 7 >= 5
+        weekly = self.pattern.weekend_factor if weekend else 1.0
+        multiplier = self.day_multiplier(day, rng)
+        curve = self.pattern.hour_curve
+        curve_total = sum(curve)
+        times: list[float] = []
+        for hour in range(24):
+            rate = self.daily_sessions * weekly * multiplier * curve[hour] / curve_total
+            for _ in range(rng.poisson(rate)):
+                times.append((day * 24 + hour + rng.random()) * 3600.0)
+        times.sort()
+        return times
+
+    def background_session_times(self, day: int, rng: RngStream) -> list[float]:
+        """Machine session starts: uniform over the day, vacation-immune."""
+        count = rng.poisson(self.background_sessions)
+        times = [(day * 24 + rng.uniform(0.0, 24.0)) * 3600.0 for _ in range(count)]
+        times.sort()
+        return times

@@ -1,0 +1,214 @@
+"""Online service profiles: who serves traffic, and over which protocol.
+
+Each :class:`ServiceProfile` describes one observable service: the AS that
+originates its traffic, the reverse-DNS domain its servers carry, its
+functional category (the grouping of the paper's Figure 4), how much of its
+server fleet is dual-stack, and the shape of the traffic it exchanges with
+clients.
+
+The shipped catalog mirrors the 35 ASes of the paper's Figures 4 and 17:
+ISPs with consistently low IPv6 byte fractions, Web/Social providers above
+90% (except ByteDance), clouds spread across the whole range, and the
+paper's named IPv4-only laggards (Zoom, Twitch, GitHub, WordPress, USC).
+IPv6-support levels are calibrated to the medians visible in Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.asn import AsCategory
+from repro.util.rng import RngStream
+
+
+class ApplicationKind(enum.Enum):
+    """What kind of traffic a session with the service produces."""
+
+    WEB = "web"  # page loads: many small flows
+    SOCIAL = "social"  # feeds: many small-to-medium flows
+    STREAMING = "streaming"  # video: few flows, heavy tails
+    DOWNLOAD = "download"  # game/OS downloads: very heavy single flows
+    CONFERENCING = "conferencing"  # long interactive sessions, steady rate
+    GAMING = "gaming"  # live game traffic: long low-rate flows
+    BACKGROUND = "background"  # machine-generated: updates, telemetry
+    STORAGE = "storage"  # NAS-style bulk transfers (internal traffic)
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """Flow-level shape of one session with a service.
+
+    Attributes:
+        flows_per_session: mean number of flows a session opens.
+        median_flow_bytes: median size of an ordinary flow.
+        sigma: lognormal spread for ordinary flows.
+        heavy_flow_bytes: minimum size of a heavy (Pareto) flow, or 0 if
+            the service never produces elephants.
+        heavy_flow_prob: probability that a given flow is heavy.
+        udp_fraction: share of flows carried over UDP (QUIC, RTP).
+    """
+
+    flows_per_session: float
+    median_flow_bytes: int
+    sigma: float = 1.2
+    heavy_flow_bytes: int = 0
+    heavy_flow_prob: float = 0.0
+    udp_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.flows_per_session <= 0:
+            raise ValueError("flows_per_session must be positive")
+        if self.median_flow_bytes <= 0:
+            raise ValueError("median_flow_bytes must be positive")
+        if not 0.0 <= self.heavy_flow_prob <= 1.0:
+            raise ValueError("heavy_flow_prob must be a probability")
+        if not 0.0 <= self.udp_fraction <= 1.0:
+            raise ValueError("udp_fraction must be a probability")
+
+    def draw_flow_bytes(self, rng: RngStream) -> int:
+        """Sample one flow's byte volume."""
+        if self.heavy_flow_bytes and rng.bernoulli(self.heavy_flow_prob):
+            return rng.pareto_bytes(self.heavy_flow_bytes, alpha=1.3)
+        return rng.lognormal_bytes(self.median_flow_bytes, self.sigma)
+
+
+#: Canonical shapes per application kind.
+SHAPES: dict[ApplicationKind, TrafficShape] = {
+    ApplicationKind.WEB: TrafficShape(
+        flows_per_session=14, median_flow_bytes=60_000, sigma=1.4, udp_fraction=0.3
+    ),
+    ApplicationKind.SOCIAL: TrafficShape(
+        flows_per_session=22, median_flow_bytes=120_000, sigma=1.5,
+        heavy_flow_bytes=3_000_000, heavy_flow_prob=0.05, udp_fraction=0.4,
+    ),
+    ApplicationKind.STREAMING: TrafficShape(
+        flows_per_session=4, median_flow_bytes=1_500_000, sigma=1.0,
+        heavy_flow_bytes=60_000_000, heavy_flow_prob=0.5, udp_fraction=0.3,
+    ),
+    ApplicationKind.DOWNLOAD: TrafficShape(
+        flows_per_session=2, median_flow_bytes=5_000_000, sigma=1.2,
+        heavy_flow_bytes=400_000_000, heavy_flow_prob=0.45, udp_fraction=0.0,
+    ),
+    ApplicationKind.CONFERENCING: TrafficShape(
+        flows_per_session=3, median_flow_bytes=80_000_000, sigma=0.6, udp_fraction=0.8
+    ),
+    ApplicationKind.GAMING: TrafficShape(
+        flows_per_session=5, median_flow_bytes=15_000_000, sigma=0.8, udp_fraction=0.7
+    ),
+    ApplicationKind.BACKGROUND: TrafficShape(
+        flows_per_session=3, median_flow_bytes=30_000, sigma=1.3, udp_fraction=0.2
+    ),
+    ApplicationKind.STORAGE: TrafficShape(
+        flows_per_session=4, median_flow_bytes=2_000_000, sigma=1.4,
+        heavy_flow_bytes=50_000_000, heavy_flow_prob=0.2, udp_fraction=0.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """One observable online service.
+
+    Attributes:
+        name: human-readable service name.
+        asn: origin AS of the service's servers.
+        as_name: whois-style AS name (as in Figure 4's labels).
+        domain: the eTLD+1 its reverse DNS resolves to (Figure 17's unit).
+        category: functional grouping (Figure 4's panels).
+        kind: traffic shape selector.
+        ipv6_support: fraction of the service's servers that are
+            dual-stack; 0 models the paper's IPv4-only laggards.
+        human_driven: True for services used when people are home and
+            active; False for machine-generated background traffic.
+        num_servers: size of the addressable server fleet.
+    """
+
+    name: str
+    asn: int
+    as_name: str
+    domain: str
+    category: AsCategory
+    kind: ApplicationKind
+    ipv6_support: float
+    human_driven: bool = True
+    num_servers: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ipv6_support <= 1.0:
+            raise ValueError("ipv6_support must be in [0, 1]")
+        if self.num_servers < 1:
+            raise ValueError("a service needs at least one server")
+        if self.asn <= 0:
+            raise ValueError("asn must be positive")
+
+    @property
+    def shape(self) -> TrafficShape:
+        return SHAPES[self.kind]
+
+
+def build_service_catalog() -> list[ServiceProfile]:
+    """The 40-service catalog mirroring the paper's observed ASes.
+
+    IPv6-support values are calibrated to the per-AS medians of Figure 4
+    and the domain list of Figure 17.
+    """
+    hosting = AsCategory.HOSTING_CLOUD
+    software = AsCategory.SOFTWARE
+    isp = AsCategory.ISP
+    web = AsCategory.WEB_SOCIAL
+    other = AsCategory.OTHER
+    k = ApplicationKind
+    return [
+        # --- Hosting and cloud providers (Figure 4, top panel) ---
+        ServiceProfile("Fastly CDN", 54113, "FASTLY", "fastly.net", hosting, k.WEB, 0.95),
+        ServiceProfile("Cloudflare", 13335, "CLOUDFLARENET", "cloudflare.com", hosting, k.WEB, 0.93),
+        ServiceProfile("Akamai CDN", 20940, "AKAMAI-ASN1", "akamaitechnologies.com", hosting, k.WEB, 0.90),
+        ServiceProfile("CDN77", 60068, "CDN77", "cdn77.com", hosting, k.WEB, 0.85),
+        ServiceProfile("Qwilt", 20253, "QWILTED-PROD-01", "qwilt.com", hosting, k.STREAMING, 0.80),
+        ServiceProfile("Microsoft Cloud", 8075, "MICROSOFT-CORP", "microsoft.com", hosting, k.WEB, 0.70),
+        ServiceProfile("Cloudflare Spectrum", 209242, "CLOUDFLARESPECTRUM", "cloudflare.com", hosting, k.GAMING, 0.65),
+        ServiceProfile("Amazon EC2", 16509, "AMAZON-02", "amazonaws.com", hosting, k.WEB, 0.50),
+        ServiceProfile("Zenlayer", 21859, "ZEN-ECN", "zenlayer.net", hosting, k.WEB, 0.45),
+        ServiceProfile("Google Cloud", 396982, "GOOGLE-CLOUD-PLATFORM", "googleusercontent.com", hosting, k.WEB, 0.40),
+        ServiceProfile("Amazon AES", 14618, "AMAZON-AES", "amazonaws.com", hosting, k.WEB, 0.35),
+        ServiceProfile("Ace AP", 139341, "ACE-AS-AP", "ace-ap.net", hosting, k.WEB, 0.30),
+        ServiceProfile("OVH", 16276, "OVH", "ovh.net", hosting, k.WEB, 0.05),
+        ServiceProfile("DigitalOcean", 14061, "DIGITALOCEAN-ASN", "digitalocean.com", hosting, k.WEB, 0.05),
+        ServiceProfile("LeaseWeb", 60781, "LEASEWEB-NL-AMS-01", "leaseweb.net", hosting, k.WEB, 0.03),
+        ServiceProfile("Akamai Legacy", 16625, "AKAMAI-AS", "akamaitechnologies.com", hosting, k.WEB, 0.02),
+        ServiceProfile("i3D.net", 49544, "i3Dnet", "i3d.net", hosting, k.GAMING, 0.0),
+        # --- Software development (Figure 4, second panel) ---
+        ServiceProfile("Microsoft Updates", 8068, "MICROSOFT-CORP-MSN", "microsoft.com", software, k.BACKGROUND, 0.60, human_driven=False),
+        ServiceProfile("Apple Services", 6185, "APPLE-AUSTIN", "aaplimg.com", software, k.DOWNLOAD, 0.50),
+        ServiceProfile("Apple Engineering", 714, "APPLE-ENGINEERING", "apple.com", software, k.BACKGROUND, 0.40, human_driven=False),
+        ServiceProfile("Zoom", 30103, "ZOOM-VIDEO-COMM-AS", "zoom.us", software, k.CONFERENCING, 0.0),
+        # --- ISPs (Figure 4, third panel) ---
+        ServiceProfile("China Unicom", 4837, "CHINA169-Backbone", "chinaunicom.cn", isp, k.WEB, 0.20),
+        ServiceProfile("China Telecom", 4134, "CHINANET-BACKBONE", "chinatelecom.cn", isp, k.WEB, 0.15),
+        ServiceProfile("AT&T", 7018, "ATT-INTERNET4", "sbcglobal.net", isp, k.WEB, 0.10),
+        ServiceProfile("Comcast", 7922, "COMCAST-7922", "comcast.net", isp, k.WEB, 0.08),
+        ServiceProfile("Frontier", 5650, "FRONTIER-FRTR", "frontiernet.net", isp, k.WEB, 0.0),
+        # --- Web and social media (Figure 4, fourth panel) ---
+        ServiceProfile("Wikipedia", 14907, "WIKIMEDIA", "wikimedia.org", web, k.WEB, 0.97),
+        ServiceProfile("Facebook", 32934, "FACEBOOK", "fbcdn.net", web, k.SOCIAL, 0.95),
+        ServiceProfile("Google", 15169, "GOOGLE", "1e100.net", web, k.SOCIAL, 0.95),
+        ServiceProfile("TikTok", 396986, "BYTEDANCE", "bytefcdn.com", web, k.STREAMING, 0.05),
+        # --- Other (Figure 4, bottom panel) + Figure 17 laggards ---
+        ServiceProfile("Netflix Streaming", 2906, "AS-SSI", "nflxvideo.net", other, k.STREAMING, 0.90),
+        ServiceProfile("Valve/Steam", 32590, "VALVE-CORPORATION", "steamcontent.com", other, k.DOWNLOAD, 0.85),
+        ServiceProfile("Netflix API", 40027, "NETFLIX-ASN", "netflix.com", other, k.WEB, 0.60),
+        ServiceProfile("Internet Archive", 7941, "INTERNET-ARCHIVE", "archive.org", other, k.WEB, 0.10),
+        ServiceProfile("USC Campus", 47, "USC-AS", "usc.edu", other, k.WEB, 0.0),
+        ServiceProfile("Twitch", 46489, "TWITCH", "justin.tv", other, k.STREAMING, 0.0),
+        ServiceProfile("GitHub", 36459, "GITHUB", "github.com", other, k.WEB, 0.0),
+        ServiceProfile("WordPress", 2635, "AUTOMATTIC", "wp.com", other, k.WEB, 0.0),
+        ServiceProfile("Windows Telemetry", 3598, "MICROSOFT-CORP-AS", "msedge.net", software, k.BACKGROUND, 0.15, human_driven=False),
+        ServiceProfile("IoT Telemetry", 64512, "IOT-TELEMETRY", "iot-vendor.com", other, k.BACKGROUND, 0.0, human_driven=False),
+    ]
+
+
+def catalog_by_name(catalog: list[ServiceProfile] | None = None) -> dict[str, ServiceProfile]:
+    """Index a catalog by service name (the key residences reference)."""
+    services = catalog if catalog is not None else build_service_catalog()
+    return {service.name: service for service in services}

@@ -1,0 +1,84 @@
+"""Client devices inside a residence.
+
+The paper finds device capability matters: Residence C's low IPv6 share is
+plausibly "because some devices at Residence C did not have IPv6 enabled,
+or had broken connectivity" (section 3.4).  :class:`Device` carries an
+``ipv6_capable`` flag; a v6-incapable device speaks IPv4 even to dual-stack
+services, capping every AS's observable IPv6 fraction at that residence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.addr import Family, IpAddress
+
+
+class DeviceKind(enum.Enum):
+    PC = "pc"
+    PHONE = "phone"
+    TABLET = "tablet"
+    TV = "tv"
+    CONSOLE = "console"
+    NAS = "nas"
+    PRINTER = "printer"
+    IOT = "iot"
+
+    @property
+    def interactive(self) -> bool:
+        """Whether humans drive this device's traffic directly."""
+        return self in (
+            DeviceKind.PC,
+            DeviceKind.PHONE,
+            DeviceKind.TABLET,
+            DeviceKind.TV,
+            DeviceKind.CONSOLE,
+        )
+
+
+@dataclass(frozen=True)
+class Device:
+    """One client device with its LAN addressing.
+
+    Attributes:
+        name: stable identifier within the residence.
+        kind: device class; interactive kinds carry human sessions.
+        v4: the device's LAN IPv4 address.
+        v6: the device's LAN IPv6 address, or None when the device (or its
+            residence) cannot do IPv6 at all.
+        wan_ipv6: whether the device's IPv6 actually works *toward the
+            Internet*.  A device with broken CPE-path IPv6 still speaks
+            IPv6 on the LAN -- which is why the paper finds internal and
+            external IPv6 shares uncorrelated (section 3.2, Residence C).
+        activity_weight: relative share of the residence's sessions this
+            device carries.
+    """
+
+    name: str
+    kind: DeviceKind
+    v4: IpAddress
+    v6: IpAddress | None
+    wan_ipv6: bool = True
+    activity_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v4.family is not Family.V4:
+            raise ValueError("device v4 address must be IPv4")
+        if self.v6 is not None and self.v6.family is not Family.V6:
+            raise ValueError("device v6 address must be IPv6")
+        if self.activity_weight < 0:
+            raise ValueError("activity_weight must be non-negative")
+
+    @property
+    def ipv6_capable(self) -> bool:
+        """Can this device reach the IPv6 Internet?"""
+        return self.v6 is not None and self.wan_ipv6
+
+    @property
+    def lan_ipv6(self) -> bool:
+        """Can this device speak IPv6 on the LAN?"""
+        return self.v6 is not None
+
+    def address(self, family: Family) -> IpAddress | None:
+        return self.v4 if family is Family.V4 else self.v6

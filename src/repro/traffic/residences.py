@@ -1,0 +1,247 @@
+"""The five-residence study design (paper section 3).
+
+Each :class:`ResidenceProfile` encodes what the paper reports about one
+residence: its ISP (native IPv6, or Frontier's IPv4-only service bridged by
+a tunnel at Residence B), its device fleet and their IPv6 capability, how
+much of the household's traffic our router sees (partial at D and E), the
+household's service diet, and its schedule.
+
+Together with the generative model these produce Table 1's qualitative
+facts: external IPv6 byte fractions spanning roughly 0.07-0.68, flow
+majorities that disagree with byte majorities, internal traffic around 1%
+of external at most homes, and per-day variation with a standard deviation
+above 0.15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import Prefix
+from repro.traffic.activity import ActivityModel, OccupancyPattern, VacationWindow
+from repro.traffic.devices import Device, DeviceKind
+
+#: Spring break at Residence A: mid-March, ~4.5 months into a Nov 1 start
+#: (paper Figure 2 shows the dip on March 16-19 = days 135-138).
+SPRING_BREAK = VacationWindow(start_day=135, end_day=138)
+
+
+@dataclass(frozen=True)
+class ResidenceProfile:
+    """Study configuration for one residence.
+
+    Attributes:
+        name: the paper's label (A-E).
+        isp: ISP name, for reporting.
+        native_ipv6: False means the ISP is IPv4-only and IPv6 rides a
+            tunnel (Residence B / Frontier).
+        occupants: household size (scales activity).
+        lan_v4 / lan_v6: the router's LAN prefixes.
+        device_specs: (kind, ipv6_capable, activity_weight) per device.
+        service_weights: the household's service diet -- relative session
+            weights over catalog service names.
+        daily_sessions: mean human sessions per day (traffic scale;
+            also encodes partial visibility at D and E).
+        background_sessions: mean machine sessions per day.
+        internal_sessions: mean LAN-to-LAN sessions per day.
+        internal_ipv6_preference: probability an internal session between
+            two capable devices uses IPv6 (NAS/file-share capability).
+        dual_syn_probability: chance a Happy Eyeballs connection emits
+            SYNs on both families regardless of timing (models the
+            aggressive racing the paper conjectures in section 3.2).
+        vacations: unoccupied windows.
+        weekend_factor / day_variability: schedule shape knobs.
+    """
+
+    name: str
+    isp: str
+    native_ipv6: bool
+    occupants: int
+    lan_v4: Prefix
+    lan_v6: Prefix | None
+    device_specs: tuple[tuple[DeviceKind, bool, float], ...]
+    service_weights: dict[str, float]
+    daily_sessions: float
+    background_sessions: float
+    internal_sessions: float
+    internal_ipv6_preference: float
+    dual_syn_probability: float = 0.25
+    vacations: tuple[VacationWindow, ...] = ()
+    weekend_factor: float = 1.1
+    day_variability: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.occupants < 1:
+            raise ValueError("a residence has at least one occupant")
+        if not self.device_specs:
+            raise ValueError("a residence needs at least one device")
+        if not self.service_weights:
+            raise ValueError("a residence needs a service diet")
+        if not 0.0 <= self.internal_ipv6_preference <= 1.0:
+            raise ValueError("internal_ipv6_preference must be a probability")
+        if not 0.0 <= self.dual_syn_probability <= 1.0:
+            raise ValueError("dual_syn_probability must be a probability")
+
+    def build_devices(self) -> list[Device]:
+        """Materialize the device fleet with LAN addresses.
+
+        Every device gets a LAN IPv6 address when the residence has a
+        prefix; the per-device capability flag governs *WAN* IPv6 only
+        (broken CPE-path IPv6 still leaves the LAN dual-stack).
+        """
+        devices: list[Device] = []
+        for index, (kind, wan_ipv6_ok, weight) in enumerate(self.device_specs):
+            v4 = self.lan_v4.nth(10 + index)
+            v6 = self.lan_v6.nth(0x10 + index) if self.lan_v6 is not None else None
+            devices.append(
+                Device(
+                    name=f"{self.name.lower()}-{kind.value}-{index}",
+                    kind=kind,
+                    v4=v4,
+                    v6=v6,
+                    wan_ipv6=wan_ipv6_ok,
+                    activity_weight=weight,
+                )
+            )
+        return devices
+
+    def activity_model(self) -> ActivityModel:
+        return ActivityModel(
+            daily_sessions=self.daily_sessions,
+            background_sessions=self.background_sessions,
+            pattern=OccupancyPattern(
+                weekend_factor=self.weekend_factor,
+                day_variability=self.day_variability,
+            ),
+            vacations=self.vacations,
+        )
+
+
+def _lan(index: int, with_v6: bool = True) -> tuple[Prefix, Prefix | None]:
+    v4 = Prefix.parse(f"192.168.{index}.0/24")
+    v6 = Prefix.parse(f"2001:db8:{index:x}::/64") if with_v6 else None
+    return v4, v6
+
+
+def build_paper_residences() -> list[ResidenceProfile]:
+    """The five residences, calibrated to Table 1's qualitative shape."""
+    pc, phone, tablet, tv = DeviceKind.PC, DeviceKind.PHONE, DeviceKind.TABLET, DeviceKind.TV
+    console, nas, printer, iot = (
+        DeviceKind.CONSOLE, DeviceKind.NAS, DeviceKind.PRINTER, DeviceKind.IOT,
+    )
+
+    a_v4, a_v6 = _lan(1)
+    b_v4, b_v6 = _lan(2)
+    c_v4, c_v6 = _lan(3)
+    d_v4, d_v6 = _lan(4)
+    e_v4, e_v6 = _lan(5)
+
+    residence_a = ResidenceProfile(
+        name="A", isp="Spectrum", native_ipv6=True, occupants=4,
+        lan_v4=a_v4, lan_v6=a_v6,
+        device_specs=(
+            (pc, True, 2.0), (pc, True, 1.5), (phone, True, 2.0), (phone, True, 1.5),
+            (tablet, True, 1.0), (tv, True, 1.5), (console, True, 1.0),
+            (printer, True, 0.2), (iot, False, 0.3),
+        ),
+        # IPv6-heavy streaming diet with a visible IPv4-only remainder:
+        # bytes lean IPv6 (Netflix, Valve), flows split near even because
+        # the many web flows include IPv4-only services.
+        service_weights={
+            "Netflix Streaming": 7.0, "Valve/Steam": 4.0, "Apple Services": 2.5,
+            "Google": 7.0, "Facebook": 4.0, "Cloudflare": 4.0, "Fastly CDN": 3.0,
+            "Akamai CDN": 2.0, "Wikipedia": 1.0, "Microsoft Cloud": 2.0,
+            "Amazon EC2": 3.0, "Twitch": 1.2, "Zoom": 1.0, "GitHub": 2.5,
+            "USC Campus": 2.0, "Internet Archive": 0.8, "Comcast": 1.0,
+            "WordPress": 1.0, "Netflix API": 1.0, "TikTok": 0.8,
+        },
+        daily_sessions=95.0, background_sessions=30.0,
+        internal_sessions=6.0, internal_ipv6_preference=0.25,
+        vacations=(SPRING_BREAK,),
+    )
+
+    residence_b = ResidenceProfile(
+        name="B", isp="Frontier", native_ipv6=False, occupants=7,
+        lan_v4=b_v4, lan_v6=b_v6,
+        device_specs=(
+            (pc, True, 2.0), (pc, True, 1.5), (phone, True, 2.0), (phone, True, 2.0),
+            (phone, True, 1.5), (tablet, True, 1.0), (tv, True, 1.5),
+            (console, True, 1.2), (nas, True, 0.4), (iot, False, 0.3),
+        ),
+        service_weights={
+            "Netflix Streaming": 5.0, "Valve/Steam": 3.5, "Apple Services": 2.0,
+            "Google": 8.0, "Facebook": 6.0, "Cloudflare": 5.0, "Fastly CDN": 3.0,
+            "Wikipedia": 1.5, "Microsoft Cloud": 2.0, "Amazon EC2": 2.5,
+            "Twitch": 1.5, "Zoom": 1.2, "GitHub": 1.0, "TikTok": 1.0,
+            "Qwilt": 1.5, "CDN77": 1.0, "Netflix API": 1.0, "Frontier": 0.8,
+        },
+        daily_sessions=85.0, background_sessions=25.0,
+        internal_sessions=10.0, internal_ipv6_preference=0.6,
+    )
+
+    residence_c = ResidenceProfile(
+        name="C", isp="Spectrum", native_ipv6=True, occupants=3,
+        lan_v4=c_v4, lan_v6=c_v6,
+        # Most devices have broken/disabled IPv6: even v6-preferring
+        # services are reached over IPv4 (the paper's conjecture for C).
+        device_specs=(
+            (pc, False, 2.0), (pc, False, 1.5), (phone, True, 1.2),
+            (tv, False, 2.5), (console, False, 1.5), (nas, True, 0.5),
+            (iot, False, 0.4),
+        ),
+        service_weights={
+            "Netflix Streaming": 6.0, "Twitch": 3.0, "Google": 6.0,
+            "Facebook": 4.0, "Cloudflare": 3.0, "Amazon EC2": 3.0,
+            "Zoom": 2.0, "GitHub": 1.5, "Microsoft Cloud": 2.0,
+            "Valve/Steam": 2.5, "TikTok": 2.0, "China Unicom": 1.0,
+            "China Telecom": 1.0, "Apple Services": 1.5,
+        },
+        daily_sessions=80.0, background_sessions=30.0,
+        internal_sessions=8.0, internal_ipv6_preference=0.55,
+    )
+
+    residence_d = ResidenceProfile(
+        name="D", isp="Spectrum", native_ipv6=True, occupants=2,
+        lan_v4=d_v4, lan_v6=d_v6,
+        # Partial visibility: most residents use the ISP router; we see
+        # two phones and a NAS.  External traffic is tiny; internal
+        # NAS backups dominate and are IPv6.
+        device_specs=(
+            (phone, True, 2.0), (phone, True, 1.5), (nas, True, 1.0),
+        ),
+        service_weights={
+            "Google": 6.0, "Facebook": 5.0, "Cloudflare": 4.0,
+            "Wikipedia": 2.0, "Fastly CDN": 3.0, "Akamai CDN": 2.0,
+            "Netflix Streaming": 1.0, "Zoom": 1.5, "TikTok": 1.0,
+            "Apple Services": 1.0,
+        },
+        daily_sessions=6.0, background_sessions=4.0,
+        internal_sessions=60.0, internal_ipv6_preference=0.98,
+        day_variability=0.8,
+    )
+
+    residence_e = ResidenceProfile(
+        name="E", isp="Spectrum", native_ipv6=True, occupants=1,
+        lan_v4=e_v4, lan_v6=e_v6,
+        # A gamer/streamer household: bytes dominated by IPv4-only Twitch,
+        # Zoom and game servers; the occasional IPv6 web day makes the
+        # daily fraction extremely variable (Table 1's 0.459 +- 0.423).
+        device_specs=(
+            (pc, True, 2.5), (phone, True, 1.0), (console, False, 2.0),
+        ),
+        service_weights={
+            "Twitch": 6.0, "Zoom": 3.0, "i3D.net": 3.0, "GitHub": 2.5,
+            "USC Campus": 2.0, "WordPress": 1.5, "Internet Archive": 1.0,
+            "Cloudflare Spectrum": 1.5, "Google": 1.2, "Cloudflare": 0.8,
+            "Facebook": 0.6, "Valve/Steam": 0.5, "Netflix Streaming": 0.4,
+        },
+        daily_sessions=14.0, background_sessions=8.0,
+        internal_sessions=1.0, internal_ipv6_preference=0.2,
+        day_variability=0.9,
+    )
+
+    return [residence_a, residence_b, residence_c, residence_d, residence_e]
+
+
+def residences_by_name() -> dict[str, ResidenceProfile]:
+    return {profile.name: profile for profile in build_paper_residences()}

@@ -1,0 +1,91 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper; with
+no plotting stack available the "figures" are emitted as aligned text tables
+and CDF/series listings that carry the same rows and series the paper
+reports.  Keeping the rendering in one module means every bench prints in a
+consistent, diffable format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_count_pct(count: int, total: int) -> str:
+    """Render ``count`` with its share of ``total``, e.g. ``"47158 (57.6%)"``."""
+    if total <= 0:
+        return f"{count} (-)"
+    return f"{count} ({100.0 * count / total:.1f}%)"
+
+
+@dataclass
+class TextTable:
+    """A minimal aligned-column text table.
+
+    >>> t = TextTable(["name", "value"])
+    >>> t.add_row(["alpha", 1])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    name  | value
+    ------+------
+    alpha | 1
+    """
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append([_stringify(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_points: int = 12,
+) -> str:
+    """Render an (x, y) series compactly, subsampling long series.
+
+    Used for CDFs and decomposition components: the printed points let a
+    reader check the curve's shape (where it rises, where the knees are)
+    without a plot.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("series coordinates must be parallel")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    if n <= max_points:
+        idx = list(range(n))
+    else:
+        step = (n - 1) / (max_points - 1)
+        idx = sorted({round(i * step) for i in range(max_points)})
+    points = ", ".join(f"({xs[i]:.3g}, {ys[i]:.3g})" for i in idx)
+    return f"{name} [n={n}]: {points}"

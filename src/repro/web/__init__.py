@@ -1,0 +1,32 @@
+"""The synthetic web: top lists, websites, third-party resources.
+
+This package builds the universe the server-side census (paper section 4)
+crawls: a popularity-ranked top list, websites with multiple pages and
+embedded resources resolved to arbitrary depth, a shared third-party
+service pool with the long-tailed span distribution the paper measures,
+and the DNS/BGP/addressing fabric tying every FQDN to a cloud provider.
+"""
+
+from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
+from repro.web.resources import (
+    ResourceCategory,
+    ResourceType,
+    ThirdPartyPool,
+    ThirdPartyService,
+)
+from repro.web.sites import EmbeddedResource, Page, Website
+from repro.web.toplist import TopList, TopListEntry
+
+__all__ = [
+    "WebEcosystem",
+    "WebEcosystemConfig",
+    "ResourceCategory",
+    "ResourceType",
+    "ThirdPartyPool",
+    "ThirdPartyService",
+    "EmbeddedResource",
+    "Page",
+    "Website",
+    "TopList",
+    "TopListEntry",
+]

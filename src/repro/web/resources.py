@@ -1,0 +1,250 @@
+"""Third-party resources: types, categories, and the shared service pool.
+
+Section 4.3 of the paper characterizes the IPv4-only resources that hold
+IPv6-partial websites back: by VirusTotal category (Figure 9: ads dominate,
+then information technology, trackers, content delivery, analytics) and by
+resource type (Figure 18: images, then xmlhttprequest, sub_frame, script).
+
+:class:`ThirdPartyPool` generates a service population with the *span*
+distribution the paper measures (Figure 8): a head of very popular services
+appearing on thousands of sites and a long tail used by one or two, with
+IPv6 adoption varying by category (advertising lags).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+
+class ResourceType(enum.Enum):
+    """Browser resource types, as in the paper's Figure 18."""
+
+    IMAGE = "image"
+    XHR = "xmlhttprequest"
+    SUB_FRAME = "sub_frame"
+    SCRIPT = "script"
+    BEACON = "beacon"
+    MEDIA = "media"
+    FONT = "font"
+    STYLESHEET = "stylesheet"
+
+
+class ResourceCategory(enum.Enum):
+    """VirusTotal-style domain categories, as in the paper's Figure 9."""
+
+    ADS = "ads"
+    INFORMATION_TECHNOLOGY = "information technology"
+    TRACKERS = "trackers"
+    CONTENT_DELIVERY = "content delivery"
+    ANALYTICS = "analytics"
+
+
+#: Category mix of the third-party pool (ads nearly half, Figure 9).
+CATEGORY_WEIGHTS: dict[ResourceCategory, float] = {
+    ResourceCategory.ADS: 0.44,
+    ResourceCategory.INFORMATION_TECHNOLOGY: 0.22,
+    ResourceCategory.TRACKERS: 0.15,
+    ResourceCategory.CONTENT_DELIVERY: 0.11,
+    ResourceCategory.ANALYTICS: 0.08,
+}
+
+#: Probability a service of each category supports IPv6.  Advertising and
+#: tracking lag (they are the paper's heavy-hitter IPv4-only domains);
+#: CDNs mostly lead.
+CATEGORY_IPV6_RATE: dict[ResourceCategory, float] = {
+    ResourceCategory.ADS: 0.68,
+    ResourceCategory.INFORMATION_TECHNOLOGY: 0.84,
+    ResourceCategory.TRACKERS: 0.76,
+    ResourceCategory.CONTENT_DELIVERY: 0.92,
+    ResourceCategory.ANALYTICS: 0.80,
+}
+
+#: Resource types each category serves, weighted (Figure 18's columns).
+CATEGORY_RESOURCE_TYPES: dict[ResourceCategory, dict[ResourceType, float]] = {
+    ResourceCategory.ADS: {
+        ResourceType.IMAGE: 4.0, ResourceType.XHR: 2.5,
+        ResourceType.SUB_FRAME: 2.5, ResourceType.SCRIPT: 2.0,
+        ResourceType.BEACON: 0.5,
+    },
+    ResourceCategory.INFORMATION_TECHNOLOGY: {
+        ResourceType.SCRIPT: 3.0, ResourceType.IMAGE: 2.0,
+        ResourceType.STYLESHEET: 1.5, ResourceType.XHR: 1.5,
+        ResourceType.FONT: 1.0,
+    },
+    ResourceCategory.TRACKERS: {
+        ResourceType.BEACON: 3.0, ResourceType.IMAGE: 3.0,
+        ResourceType.SCRIPT: 2.0, ResourceType.XHR: 2.0,
+    },
+    ResourceCategory.CONTENT_DELIVERY: {
+        ResourceType.IMAGE: 3.0, ResourceType.SCRIPT: 2.0,
+        ResourceType.MEDIA: 2.0, ResourceType.FONT: 1.5,
+        ResourceType.STYLESHEET: 1.5,
+    },
+    ResourceCategory.ANALYTICS: {
+        ResourceType.SCRIPT: 3.0, ResourceType.XHR: 2.5,
+        ResourceType.BEACON: 2.0, ResourceType.IMAGE: 1.0,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ThirdPartyService:
+    """One third-party provider (ad network, tracker, CDN, ...).
+
+    Attributes:
+        domain: the service's eTLD+1 (its resources live on subdomains).
+        category: VirusTotal-style category.
+        popularity: relative draw weight -- the head/tail shape of this
+            weight across the pool produces the span distribution.
+        nested_dependencies: other third-party domains this service pulls
+            in when loaded (ad networks syndicating other ad networks);
+            drives the paper's arbitrary-depth resolution.
+    """
+
+    domain: str
+    category: ResourceCategory
+    popularity: float
+    nested_dependencies: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.popularity <= 0:
+            raise ValueError("popularity must be positive")
+
+    def draw_resource_type(self, rng: RngStream) -> ResourceType:
+        weights = CATEGORY_RESOURCE_TYPES[self.category]
+        return rng.weighted_choice(list(weights), list(weights.values()))
+
+
+class ThirdPartyPool:
+    """The shared pool of third-party services sites embed.
+
+    Head services follow a Zipf popularity law (a doubleclick-like ad
+    network lands on thousands of sites); tail services have tiny uniform
+    popularity, so most appear on one or two sites -- matching Figure 8's
+    span CDF (p75 <= 2, p95 ~= 20, max > 1000).
+    """
+
+    def __init__(
+        self,
+        num_head: int,
+        num_tail: int,
+        rng: RngStream,
+        zipf_alpha: float = 1.05,
+        nested_dependency_prob: float = 0.25,
+        tail_popularity: float = 4e-4,
+    ) -> None:
+        if num_head < 1 or num_tail < 0:
+            raise ValueError("pool needs at least one head service")
+        if tail_popularity <= 0:
+            raise ValueError("tail_popularity must be positive")
+        self._rng = rng
+        self.num_head = num_head
+        self.num_tail = num_tail
+        categories = list(CATEGORY_WEIGHTS)
+        cat_weights = list(CATEGORY_WEIGHTS.values())
+        self.services: list[ThirdPartyService] = []
+        for i in range(num_head):
+            category = rng.weighted_choice(categories, cat_weights)
+            slug = category.name.lower().replace("_", "-")
+            self.services.append(
+                ThirdPartyService(
+                    # Each service is its own eTLD+1 (span analysis unit).
+                    domain=f"{slug}-{i}-svc.com",
+                    category=category,
+                    popularity=(i + 1.0) ** (-zipf_alpha),
+                )
+            )
+        for i in range(num_tail):
+            category = rng.weighted_choice(categories, cat_weights)
+            slug = category.name.lower().replace("_", "-")
+            self.services.append(
+                ThirdPartyService(
+                    domain=f"tail-{slug}-{i}-svc.net",
+                    category=category,
+                    popularity=tail_popularity,
+                )
+            )
+        # Wire nested dependencies among head services: a head service may
+        # syndicate 1-2 other head services (ad-network chains).
+        by_domain = {s.domain: s for s in self.services}
+        head = self.services[:num_head]
+        for index, service in enumerate(head):
+            if not rng.bernoulli(nested_dependency_prob):
+                continue
+            count = rng.randint(1, 2)
+            targets = tuple(
+                t.domain
+                for t in rng.sample(head, count + 1)
+                if t.domain != service.domain
+            )[:count]
+            if targets:
+                by_domain[service.domain] = ThirdPartyService(
+                    domain=service.domain,
+                    category=service.category,
+                    popularity=service.popularity,
+                    nested_dependencies=targets,
+                )
+        self.services = [by_domain[s.domain] for s in self.services]
+        self._by_domain = {s.domain: s for s in self.services}
+        # Precompute popularity CDFs (per category filter): draw() runs
+        # hundreds of thousands of times per census.
+        self._samplers: dict[
+            frozenset[ResourceCategory] | None,
+            tuple[list[ThirdPartyService], np.ndarray],
+        ] = {}
+        self._sampler_for(None)
+
+    def _sampler_for(
+        self, categories: frozenset[ResourceCategory] | None
+    ) -> tuple[list[ThirdPartyService], np.ndarray]:
+        cached = self._samplers.get(categories)
+        if cached is not None:
+            return cached
+        if categories is None:
+            eligible = self.services
+        else:
+            eligible = [s for s in self.services if s.category in categories]
+        if not eligible:
+            raise ValueError(f"no services in categories {categories}")
+        weights = np.asarray([s.popularity for s in eligible], dtype=float)
+        sampler = (eligible, np.cumsum(weights))
+        self._samplers[categories] = sampler
+        return sampler
+
+    def get(self, domain: str) -> ThirdPartyService:
+        return self._by_domain[domain]
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._by_domain
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def draw(
+        self, categories: frozenset[ResourceCategory] | None = None
+    ) -> ThirdPartyService:
+        """Draw one service by popularity (inverse-CDF sampling),
+        optionally restricted to the given categories."""
+        eligible, cumulative = self._sampler_for(categories)
+        u = self._rng.random() * float(cumulative[-1])
+        index = int(np.searchsorted(cumulative, u, side="right"))
+        index = min(index, len(eligible) - 1)
+        return eligible[index]
+
+    def draw_embeds(
+        self,
+        mean_count: float,
+        categories: frozenset[ResourceCategory] | None = None,
+    ) -> list[ThirdPartyService]:
+        """The distinct third-party services one site embeds."""
+        count = self._rng.poisson(mean_count)
+        seen: dict[str, ThirdPartyService] = {}
+        for _ in range(count):
+            service = self.draw(categories)
+            seen[service.domain] = service
+        return list(seen.values())

@@ -1,0 +1,128 @@
+"""Tests for the cloud provider catalog and IPv6 policies."""
+
+import pytest
+
+from repro.cloud.providers import (
+    CloudProvider,
+    CloudService,
+    Ipv6Policy,
+    build_provider_catalog,
+    providers_by_name,
+)
+from repro.util.rng import RngStream
+
+
+def make_service(policy: Ipv6Policy) -> CloudService:
+    return CloudService(
+        name="svc", cname_suffix="svc.x.example", policy=policy,
+        weight=1.0, v4_org_id="org", v6_org_id="org",
+    )
+
+
+class TestCloudService:
+    def test_always_on_ignores_inclination(self):
+        service = make_service(Ipv6Policy.ALWAYS_ON)
+        rng = RngStream(1)
+        assert all(service.tenant_enables_ipv6(0.0, rng) for _ in range(50))
+
+    def test_none_never_enables(self):
+        service = make_service(Ipv6Policy.NONE)
+        rng = RngStream(1)
+        assert not any(service.tenant_enables_ipv6(1.0, rng) for _ in range(50))
+
+    def test_default_on_beats_opt_in(self):
+        """Same tenants, very different outcomes by policy (Table 2)."""
+        rng = RngStream(2)
+        inclinations = [rng.random() for _ in range(800)]
+        default_on = make_service(Ipv6Policy.DEFAULT_ON)
+        opt_in = make_service(Ipv6Policy.OPT_IN)
+        code_change = make_service(Ipv6Policy.OPT_IN_CODE_CHANGE)
+        r_default = sum(default_on.tenant_enables_ipv6(i, rng) for i in inclinations)
+        r_opt = sum(opt_in.tenant_enables_ipv6(i, rng) for i in inclinations)
+        r_code = sum(code_change.tenant_enables_ipv6(i, rng) for i in inclinations)
+        assert r_default > 2 * r_opt > 0
+        assert r_code < r_opt / 3
+        assert r_code < 0.05 * len(inclinations)
+
+    def test_inclination_bounds(self):
+        service = make_service(Ipv6Policy.OPT_IN)
+        with pytest.raises(ValueError):
+            service.tenant_enables_ipv6(1.5, RngStream(1))
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            CloudService("s", "s.example", Ipv6Policy.NONE, 0.0, "o", "o")
+
+
+class TestCatalog:
+    def test_paper_providers_present(self):
+        names = {p.name for p in build_provider_catalog()}
+        for expected in (
+            "Cloudflare", "Amazon", "Google", "Akamai", "Fastly", "Microsoft",
+            "Bunnyway", "Datacamp", "OVH", "DigitalOcean", "Hetzner",
+        ):
+            assert expected in names
+
+    def test_validation_catches_unknown_org(self):
+        with pytest.raises(ValueError):
+            CloudProvider(
+                name="X", org_ids=("a",), org_names=("A",), asns=(1,),
+                services=(CloudService("s", "s.x", Ipv6Policy.NONE, 1.0, "BAD", "a"),),
+                market_weight=1.0,
+            )
+
+    def test_bunnyway_split_brand(self):
+        """bunny.net: AAAA from Bunnyway's org, A from the Datacamp one."""
+        bunny = providers_by_name()["Bunnyway"]
+        service = bunny.services[0]
+        assert service.v4_org_id != service.v6_org_id
+        assert service.v6_org_id == "bunnyway"
+
+    def test_akamai_legacy_split(self):
+        akamai = providers_by_name()["Akamai"]
+        legacy = next(s for s in akamai.services if "Legacy" in s.name)
+        assert legacy.v4_org_id == "akamai-tech"
+        assert legacy.v6_org_id == "akamai-intl"
+        modern = next(s for s in akamai.services if s.name == "Akamai CDN")
+        assert modern.v4_org_id == modern.v6_org_id == "akamai-intl"
+
+    def test_azure_front_door_always_on(self):
+        microsoft = providers_by_name()["Microsoft"]
+        front_door = next(s for s in microsoft.services if "Front Door" in s.name)
+        assert front_door.policy is Ipv6Policy.ALWAYS_ON
+
+    def test_s3_is_code_change(self):
+        amazon = providers_by_name()["Amazon"]
+        s3 = next(s for s in amazon.services if s.name == "Amazon S3")
+        assert s3.policy is Ipv6Policy.OPT_IN_CODE_CHANGE
+
+    def test_unique_cname_suffixes(self):
+        suffixes = [
+            s.cname_suffix for p in build_provider_catalog() for s in p.services
+        ]
+        assert len(suffixes) == len(set(suffixes))
+
+    def test_asn_org_mapping_consistent(self):
+        """An ASN may appear under two providers only for the documented
+        shared-organization case (Bunnyway fronting on Datacamp); it must
+        always map to the same organization."""
+        asn_to_org: dict[int, str] = {}
+        for provider in build_provider_catalog():
+            for org_id, asn in zip(provider.org_ids, provider.asns):
+                if asn in asn_to_org:
+                    assert asn_to_org[asn] == org_id, f"AS{asn} org conflict"
+                asn_to_org[asn] = org_id
+        # The Datacamp AS is the one shared (bunny.net's A records).
+        shared = [a for p in build_provider_catalog() for a in p.asns]
+        assert len(shared) - len(set(shared)) == 1
+
+    def test_asn_of_org(self):
+        cloudflare = providers_by_name()["Cloudflare"]
+        assert cloudflare.asn_of_org("cloudflare") == 13335
+
+    def test_pick_service_weighted(self):
+        amazon = providers_by_name()["Amazon"]
+        rng = RngStream(3)
+        picks = [amazon.pick_service(rng).name for _ in range(300)]
+        # EC2 has the largest weight; it must dominate.
+        assert picks.count("Amazon EC2") > picks.count("Amazon S3")

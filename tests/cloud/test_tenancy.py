@@ -1,0 +1,120 @@
+"""Tests for tenant placement across clouds."""
+
+import pytest
+
+from repro.cloud.providers import Ipv6Policy, build_provider_catalog, providers_by_name
+from repro.cloud.tenancy import Tenant, TenantPlanner
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def planner() -> TenantPlanner:
+    return TenantPlanner(build_provider_catalog(), RngStream(1, "tenancy"))
+
+
+class TestTenant:
+    def test_inclination_bounds(self):
+        with pytest.raises(ValueError):
+            Tenant(etld1="x.com", inclination=1.5)
+
+    def test_fraction_requires_presence(self, planner):
+        tenant = planner.place_tenant("x.com", 1, 0.5)
+        provider = tenant.placements[0].provider_name
+        assert 0.0 <= tenant.ipv6_full_fraction_on(provider) <= 1.0
+        with pytest.raises(ValueError):
+            tenant.ipv6_full_fraction_on("NoSuchCloud")
+
+
+class TestTenantPlanner:
+    def test_empty_providers_rejected(self):
+        with pytest.raises(ValueError):
+            TenantPlanner([], RngStream(1))
+
+    def test_subdomain_count(self, planner):
+        tenant = planner.place_tenant("site.com", 4, 0.5)
+        assert len(tenant.placements) == 4
+        assert tenant.placements[0].fqdn == "www.site.com"
+
+    def test_subdomain_count_capped(self, planner):
+        tenant = planner.place_tenant("site.com", 99, 0.5)
+        assert len(tenant.placements) <= 12
+
+    def test_invalid_subdomain_count(self, planner):
+        with pytest.raises(ValueError):
+            planner.place_tenant("site.com", 0, 0.5)
+
+    def test_forced_aaaa(self, planner):
+        on = planner.place_tenant("a.com", 5, 0.0, forced_aaaa=True)
+        off = planner.place_tenant("b.com", 5, 1.0, forced_aaaa=False)
+        assert all(p.has_aaaa for p in on.placements)
+        assert not any(p.has_aaaa for p in off.placements)
+
+    def test_same_service_placements_share_fate(self, planner):
+        """One enablement decision per (tenant, service): all placements
+        of a tenant on the same service have the same AAAA outcome."""
+        for i in range(50):
+            tenant = planner.place_tenant(f"s{i}.com", 8, 0.5)
+            by_service: dict[str, set[bool]] = {}
+            for placement in tenant.placements:
+                by_service.setdefault(placement.service.cname_suffix, set()).add(
+                    placement.has_aaaa
+                )
+            for outcomes in by_service.values():
+                assert len(outcomes) == 1
+
+    def test_most_primary_subdomains_share_www_service(self, planner):
+        """Subdomains that stay on the primary provider reuse the www
+        service (one CDN config fronts the site), so the bulk of a
+        tenant's same-provider placements share the main page's fate."""
+        same_service = total = 0
+        for i in range(100):
+            tenant = planner.place_tenant(f"w{i}.com", 6, 0.5)
+            www = tenant.main_placement
+            for placement in tenant.placements:
+                if placement.provider_name != www.provider_name:
+                    continue
+                total += 1
+                if placement.service.name == www.service.name:
+                    same_service += 1
+        assert same_service / total > 0.9
+
+    def test_multicloud_population_emerges(self, planner):
+        tenants = [planner.place_tenant(f"m{i}.com", 6, 0.5) for i in range(300)]
+        multicloud = [t for t in tenants if t.is_multicloud]
+        assert 0.2 < len(multicloud) / len(tenants) < 0.95
+
+    def test_policy_drives_shared_tenant_differences(self):
+        """For multi-cloud tenants, an always-on provider must beat an
+        opt-in provider on IPv6-fullness (Figure 12's mechanism)."""
+        providers = providers_by_name()
+        subset = [providers["Microsoft"], providers["Fastly"]]
+        planner = TenantPlanner(subset, RngStream(5, "pair"))
+        wins_ms, wins_fastly = 0, 0
+        for i in range(400):
+            tenant = planner.place_tenant(f"t{i}.com", 8, 0.4)
+            names = tenant.provider_names
+            if len(names) < 2:
+                continue
+            ms = tenant.ipv6_full_fraction_on("Microsoft")
+            fa = tenant.ipv6_full_fraction_on("Fastly")
+            if ms > fa:
+                wins_ms += 1
+            elif fa > ms:
+                wins_fastly += 1
+        assert wins_ms > wins_fastly * 1.5
+
+    def test_cdn_bias_validation(self, planner):
+        with pytest.raises(ValueError):
+            planner.pick_primary(cdn_bias=2.0)
+
+    def test_cdn_bias_shifts_mix(self):
+        providers = build_provider_catalog()
+        rng = RngStream(7, "bias")
+        planner = TenantPlanner(providers, rng)
+        unbiased = sum(
+            1 for _ in range(500) if planner.pick_primary(0.0).name == "Cloudflare"
+        )
+        biased = sum(
+            1 for _ in range(500) if planner.pick_primary(1.0).name == "Cloudflare"
+        )
+        assert biased > unbiased

@@ -1,0 +1,206 @@
+"""Tests for the client-side analysis (paper section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import (
+    as_traffic_breakdown,
+    compute_residence_stats,
+    daily_fractions,
+    domain_traffic_breakdown,
+    hourly_fraction_series,
+    shared_as_box_stats,
+    shared_domain_box_stats,
+)
+from repro.flowmon.monitor import FlowScope
+from repro.net.asn import AsCategory
+from repro.traffic.apps import build_service_catalog, catalog_by_name
+from repro.traffic.generate import TrafficGenerator
+from repro.traffic.residences import build_paper_residences, residences_by_name
+from repro.traffic.universe import ServiceUniverse
+
+DAYS = 14
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return ServiceUniverse(build_service_catalog())
+
+
+@pytest.fixture(scope="module")
+def datasets(universe):
+    generator = TrafficGenerator(universe, seed=13)
+    return generator.generate_all(build_paper_residences(), num_days=DAYS)
+
+
+class TestResidenceStats:
+    def test_totals_consistent(self, datasets):
+        for dataset in datasets.values():
+            stats = compute_residence_stats(dataset)
+            ext = stats.external
+            assert ext.v4_bytes + ext.v6_bytes == ext.total_bytes
+            assert ext.v4_flows + ext.v6_flows == ext.total_flows
+            assert 0.0 <= ext.byte_fraction_overall <= 1.0
+
+    def test_table1_shape_fraction_spread(self, datasets):
+        """External IPv6 byte fractions vary widely across residences."""
+        fractions = [
+            compute_residence_stats(d).external.byte_fraction_overall
+            for d in datasets.values()
+        ]
+        assert max(fractions) - min(fractions) > 0.3
+        assert max(fractions) > 0.5  # an IPv6-dominant residence exists
+        assert min(fractions) < 0.25  # an IPv4-dominant residence exists
+
+    def test_table1_daily_variation(self, datasets):
+        """Per-day fractions vary (the paper's s.d. > 0.15 for some)."""
+        stds = [
+            compute_residence_stats(d).external.byte_fraction_daily_std
+            for d in datasets.values()
+        ]
+        assert max(stds) > 0.10
+
+    def test_internal_tiny_compared_to_external_mostly(self, datasets):
+        small = 0
+        for name, dataset in datasets.items():
+            stats = compute_residence_stats(dataset)
+            if stats.internal.total_bytes < 0.05 * stats.external.total_bytes:
+                small += 1
+        assert small >= 3  # "internal is only ~1% of external for 4 of 5"
+
+    def test_residence_d_flow_inversion(self, datasets):
+        """Residence D: internal flows exceed external flows."""
+        stats = compute_residence_stats(datasets["D"])
+        assert stats.internal.total_flows > stats.external.total_flows
+
+
+class TestDailyFractions:
+    def test_length_and_range(self, datasets):
+        fractions = daily_fractions(datasets["A"])
+        assert 1 <= len(fractions) <= DAYS + 1
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_metric_validation(self, datasets):
+        with pytest.raises(ValueError):
+            daily_fractions(datasets["A"], metric="packets")
+
+    def test_flows_metric_differs(self, datasets):
+        by_bytes = daily_fractions(datasets["A"], metric="bytes")
+        by_flows = daily_fractions(datasets["A"], metric="flows")
+        assert by_bytes != by_flows
+
+    def test_internal_scope(self, datasets):
+        internal = daily_fractions(datasets["B"], scope=FlowScope.INTERNAL)
+        assert internal
+
+
+class TestHourlySeries:
+    def test_shape(self, datasets):
+        series = hourly_fraction_series(datasets["A"], num_days=DAYS)
+        assert series.shape == (DAYS * 24,)
+        assert not np.isnan(series).any()
+        assert series.min() >= 0.0 and series.max() <= 1.0
+
+    def test_diurnal_signal_present(self, datasets):
+        """Evening hours carry more IPv6 than pre-dawn (human-driven)."""
+        series = hourly_fraction_series(datasets["A"], num_days=DAYS)
+        hours = np.arange(series.size) % 24
+        evening = series[(hours >= 19) | (hours <= 0)].mean()
+        predawn = series[(hours >= 3) & (hours <= 5)].mean()
+        assert evening > predawn
+
+    def test_window_args(self, datasets):
+        series = hourly_fraction_series(datasets["A"], start_day=2, num_days=3)
+        assert series.shape == (72,)
+        with pytest.raises(ValueError):
+            hourly_fraction_series(datasets["A"], start_day=DAYS, num_days=0)
+
+    def test_metric_validation(self, datasets):
+        with pytest.raises(ValueError):
+            hourly_fraction_series(datasets["A"], metric="packets")
+
+
+class TestAsBreakdown:
+    def test_entries_sorted_and_bounded(self, datasets):
+        entries = as_traffic_breakdown(datasets["A"])
+        assert entries
+        volumes = [e.total_bytes for e in entries]
+        assert volumes == sorted(volumes, reverse=True)
+        assert all(0.0 <= e.fraction_v6 <= 1.0 for e in entries)
+
+    def test_volume_filter(self, datasets):
+        loose = as_traffic_breakdown(datasets["A"], min_volume_share=0.0)
+        tight = as_traffic_breakdown(datasets["A"], min_volume_share=0.01)
+        assert len(tight) <= len(loose)
+
+    def test_ipv4_only_services_have_zero_fraction(self, datasets):
+        by_name = catalog_by_name()
+        laggards = {by_name[n].asn for n in ("Zoom", "Twitch", "GitHub")}
+        for entry in as_traffic_breakdown(datasets["A"], min_volume_share=0.0):
+            if entry.info.asn in laggards:
+                assert entry.fraction_v6 == 0.0
+
+    def test_fig3_shape_ases_with_zero_v6_exist(self, datasets):
+        """At every residence, >= a quarter of ASes carry no IPv6."""
+        for dataset in datasets.values():
+            entries = as_traffic_breakdown(dataset)
+            if len(entries) < 4:
+                continue
+            zero = sum(1 for e in entries if e.fraction_v6 == 0.0)
+            assert zero / len(entries) >= 0.2
+
+    def test_fig3_residence_c_capped(self, datasets):
+        """Broken CPE at C caps every AS's fraction well below 1."""
+        entries = as_traffic_breakdown(datasets["C"])
+        assert entries
+        assert max(e.fraction_v6 for e in entries) < 0.6
+
+
+class TestSharedAsBoxStats:
+    def test_fig4_shape(self, datasets):
+        grouped = shared_as_box_stats(datasets, min_residences=3)
+        assert grouped
+        # Web/social leads, ISPs lag -- the paper's central Figure 4 claim.
+        web = grouped.get(AsCategory.WEB_SOCIAL, [])
+        isps = grouped.get(AsCategory.ISP, [])
+        if web and isps:
+            web_best = max(stats.median for _, stats in web)
+            isp_best = max(stats.median for _, stats in isps)
+            assert web_best > isp_best
+
+    def test_sorted_by_median(self, datasets):
+        grouped = shared_as_box_stats(datasets, min_residences=2)
+        for entries in grouped.values():
+            medians = [stats.median for _, stats in entries]
+            assert medians == sorted(medians, reverse=True)
+
+    def test_min_residence_filter(self, datasets):
+        all_shared = shared_as_box_stats(datasets, min_residences=1)
+        strict = shared_as_box_stats(datasets, min_residences=5)
+        count_all = sum(len(v) for v in all_shared.values())
+        count_strict = sum(len(v) for v in strict.values())
+        assert count_strict <= count_all
+
+
+class TestDomainBreakdown:
+    def test_domains_resolved(self, datasets):
+        entries = domain_traffic_breakdown(datasets["A"])
+        assert entries
+        assert all("." in e.domain for e in entries)
+
+    def test_known_laggard_domains(self, datasets):
+        """zoom.us / justin.tv / github.com show zero IPv6 (section 3.4)."""
+        entries = {e.domain: e for e in domain_traffic_breakdown(datasets["A"])}
+        for domain in ("zoom.us", "justin.tv", "github.com"):
+            if domain in entries:
+                assert entries[domain].fraction_v6 == 0.0
+
+    def test_shared_domain_stats(self, datasets):
+        rows = shared_domain_box_stats(datasets, min_residences=3, min_bytes=1)
+        assert rows
+        medians = [stats.median for _, stats in rows]
+        assert medians == sorted(medians, reverse=True)
+
+    def test_min_bytes_filter(self, datasets):
+        few = shared_domain_box_stats(datasets, min_residences=1, min_bytes=10**14)
+        assert not few

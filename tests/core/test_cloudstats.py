@@ -1,0 +1,157 @@
+"""Tests for the cloud adoption analysis (paper section 5)."""
+
+import pytest
+
+from repro.cloud.providers import Ipv6Policy
+from repro.core.cloudstats import (
+    attribute_domains,
+    cloud_pair_heatmap,
+    cloud_provider_breakdown,
+    multicloud_tenants,
+    overall_domain_counts,
+    rank_clouds_by_wins,
+    service_adoption_table,
+)
+from repro.crawler.crawl import CensusConfig, WebCensus
+from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
+
+NUM_SITES = 1200
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return WebEcosystem(WebEcosystemConfig(num_sites=NUM_SITES, seed=31))
+
+
+@pytest.fixture(scope="module")
+def views(eco):
+    dataset = WebCensus(eco, CensusConfig(seed=31)).run()
+    return attribute_domains(dataset, eco.routing, eco.registry)
+
+
+class TestAttribution:
+    def test_views_cover_crawled_fqdns(self, views):
+        assert len(views) > NUM_SITES  # subdomains + third parties
+
+    def test_orgs_resolved_for_routable_fqdns(self, views):
+        resolved = [v for v in views.values() if v.has_a]
+        with_org = [v for v in resolved if v.v4_org is not None]
+        assert len(with_org) / len(resolved) > 0.95
+
+    def test_split_origin_artifact_exists(self, views):
+        """Bunnyway/Akamai-legacy style split-origin domains appear."""
+        split = [v for v in views.values() if v.split_origin]
+        assert split
+        orgs = {v.v6_org.name for v in split}
+        assert any("BUNNYWAY" in name or "Akamai" in name for name in orgs)
+
+
+class TestProviderBreakdown:
+    def test_counts_partition(self, views):
+        for stats in cloud_provider_breakdown(views):
+            assert stats.ipv4_only + stats.ipv6_full + stats.ipv6_only == stats.total
+            assert stats.total > 0
+
+    def test_fig11_cdn_first_beats_traditional(self, views):
+        stats = {s.org.name: s for s in cloud_provider_breakdown(views)}
+        cloudflare = stats["Cloudflare, Inc."]
+        amazon = stats["Amazon.com, Inc."]
+        assert cloudflare.share(cloudflare.ipv6_full) > amazon.share(amazon.ipv6_full)
+
+    def test_fig11_bunnyway_ipv6_only(self, views):
+        stats = {s.org.name: s for s in cloud_provider_breakdown(views)}
+        bunny = stats.get("BUNNYWAY, informacijske storitve d.o.o.")
+        if bunny is None:
+            pytest.skip("no bunny tenants in this universe")
+        assert bunny.share(bunny.ipv6_only) > 0.9
+
+    def test_fig11_akamai_tech_ipv4_only(self, views):
+        stats = {s.org.name: s for s in cloud_provider_breakdown(views)}
+        tech = stats.get("Akamai Technologies, Inc.")
+        if tech is None:
+            pytest.skip("no legacy-Akamai tenants in this universe")
+        assert tech.share(tech.ipv4_only) > 0.9
+
+    def test_overall_counts(self, views):
+        total, ipv4_only, full, v6_only = overall_domain_counts(views)
+        assert total == ipv4_only + full + v6_only
+        assert 0.3 < ipv4_only / total < 0.8  # paper overall: 56.3%
+
+
+class TestMulticloud:
+    def test_tenants_have_two_orgs(self, views):
+        tenants = multicloud_tenants(views)
+        assert tenants
+        for by_org in tenants.values():
+            assert len(by_org) >= 2
+
+    def test_fig12_heatmap(self, views):
+        tenants = multicloud_tenants(views)
+        comparisons = cloud_pair_heatmap(tenants)
+        assert comparisons
+        for cell in comparisons:
+            assert -1.0 <= cell.effect_size <= 1.0
+            assert 0.0 <= cell.p_value <= 1.0
+            if not cell.comparable:
+                assert not cell.significant
+
+    def test_fig12_direction_cloudflare_beats_selfhosted(self, views):
+        """Where significant, the default-on CDN wins (paper's finding)."""
+        tenants = multicloud_tenants(views)
+        comparisons = cloud_pair_heatmap(tenants)
+        for cell in comparisons:
+            pair = {cell.org_a, cell.org_b}
+            if pair == {"Cloudflare, Inc.", "(self-hosted / other)"} and cell.significant:
+                expected_sign = 1.0 if cell.org_a == "Cloudflare, Inc." else -1.0
+                assert cell.effect_size * expected_sign > 0
+
+    def test_ranking_orders_orgs(self, views):
+        tenants = multicloud_tenants(views)
+        comparisons = cloud_pair_heatmap(tenants)
+        ranking = rank_clouds_by_wins(comparisons)
+        orgs = {c.org_a for c in comparisons} | {c.org_b for c in comparisons}
+        assert set(ranking) == orgs
+
+
+class TestServiceTable:
+    def test_table2_rows(self, eco, views):
+        table = service_adoption_table(views, eco.service_of_cname, min_domains=3)
+        assert table
+        for row in table:
+            assert 0 <= row.ipv6_ready <= row.total
+            assert 0.0 <= row.share <= 1.0
+
+    def test_table2_policy_gradient(self, eco, views):
+        """Adoption orders by policy: always-on ~100%, default-on high,
+        opt-in low, code-change/none ~0 (Table 2's central claim)."""
+        table = service_adoption_table(views, eco.service_of_cname, min_domains=8)
+        by_policy: dict[Ipv6Policy, list[float]] = {}
+        for row in table:
+            by_policy.setdefault(row.service.policy, []).append(row.share)
+
+        def mean(policy):
+            values = by_policy.get(policy)
+            return sum(values) / len(values) if values else None
+
+        always = mean(Ipv6Policy.ALWAYS_ON)
+        default = mean(Ipv6Policy.DEFAULT_ON)
+        opt_in = mean(Ipv6Policy.OPT_IN)
+        none = mean(Ipv6Policy.NONE)
+        if always is not None:
+            assert always == 1.0
+        if default is not None and opt_in is not None:
+            assert default > opt_in + 0.2
+        if none is not None:
+            assert none == 0.0
+
+    def test_s3_style_code_change_near_zero(self, eco, views):
+        table = service_adoption_table(views, eco.service_of_cname)
+        s3_rows = [r for r in table if r.service.name == "Amazon S3"]
+        if not s3_rows:
+            pytest.skip("no S3 tenants in this universe")
+        assert s3_rows[0].share < 0.1
+
+    def test_min_domains_filter(self, eco, views):
+        all_rows = service_adoption_table(views, eco.service_of_cname, min_domains=1)
+        filtered = service_adoption_table(views, eco.service_of_cname, min_domains=50)
+        assert len(filtered) <= len(all_rows)

@@ -1,0 +1,65 @@
+"""Tests for the extreme-day attribution analysis (paper section 3.2)."""
+
+import pytest
+
+from repro.core import heavy_hitter_days
+from repro.datasets import build_residence_study
+from repro.traffic.apps import catalog_by_name
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    study = build_residence_study(num_days=60, seed=23, residences=("A",))
+    return study.dataset("A")
+
+
+class TestHeavyHitterDays:
+    def test_tails_selected(self, dataset):
+        low, high = heavy_hitter_days(dataset)
+        assert low and high
+        worst_low = max(d.fraction_v6 for d in low)
+        best_high = min(d.fraction_v6 for d in high)
+        assert worst_low < best_high
+
+    def test_quantile_validation(self, dataset):
+        with pytest.raises(ValueError):
+            heavy_hitter_days(dataset, low_quantile=0.9, high_quantile=0.1)
+        with pytest.raises(ValueError):
+            heavy_hitter_days(dataset, low_quantile=-0.1, high_quantile=0.9)
+
+    def test_dominant_ases_ranked(self, dataset):
+        low, high = heavy_hitter_days(dataset, top_ases=3)
+        for day in low + high:
+            volumes = [volume for _, volume in day.dominant_ases]
+            assert volumes == sorted(volumes, reverse=True)
+            assert len(day.dominant_ases) <= 3
+            assert day.total_bytes >= sum(volumes)
+
+    def test_paper_attribution_pattern(self, dataset):
+        """High-IPv6 days are driven by IPv6-heavy bulk services (Valve,
+        Netflix streaming, Apple); low days by IPv4-only ones (Twitch,
+        Zoom) -- the paper's section 3.2 observation.  The pattern need
+        not hold on *every* extreme day (nor does it in the paper), so we
+        assert it holds on a clear majority."""
+        by_name = catalog_by_name()
+        v6_bulk = {by_name[n].asn for n in
+                   ("Valve/Steam", "Netflix Streaming", "Apple Services")}
+        v4_bulk = {by_name[n].asn for n in ("Twitch", "Zoom")}
+        low, high = heavy_hitter_days(dataset)
+
+        high_hits = sum(
+            1 for day in high
+            if day.dominant_ases and any(a in v6_bulk for a, _ in day.dominant_ases)
+        )
+        low_hits = sum(
+            1 for day in low
+            if day.dominant_ases and any(a in v4_bulk for a, _ in day.dominant_ases)
+        )
+        assert high_hits >= 0.5 * len(high)
+        assert low_hits >= 0.3 * len(low)
+
+    def test_empty_dataset(self):
+        study = build_residence_study(num_days=1, seed=1, residences=("E",))
+        low, high = heavy_hitter_days(study.dataset("E"))
+        # One day: it is simultaneously the low and high tail.
+        assert len(low) <= 1 and len(high) <= 1

@@ -1,0 +1,199 @@
+"""Tests for readiness classification and dependency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.deps import (
+    analyze_dependencies,
+    estimate_version_split_misclassification,
+    heavy_hitter_categories,
+    resource_type_matrix,
+    whatif_adoption_curve,
+)
+from repro.core.readiness import (
+    SiteClass,
+    census_breakdown,
+    classify_site,
+    top_n_breakdown,
+)
+from repro.crawler.crawl import CensusConfig, WebCensus
+from repro.crawler.records import SiteFailure
+from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
+
+NUM_SITES = 900
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return WebEcosystem(WebEcosystemConfig(num_sites=NUM_SITES, seed=21))
+
+
+@pytest.fixture(scope="module")
+def dataset(eco):
+    return WebCensus(eco, CensusConfig(seed=21)).run()
+
+
+@pytest.fixture(scope="module")
+def breakdown(dataset):
+    return census_breakdown(dataset)
+
+
+@pytest.fixture(scope="module")
+def analysis(dataset):
+    return analyze_dependencies(dataset)
+
+
+class TestClassification:
+    def test_every_site_classified(self, dataset):
+        for result in dataset.results:
+            assert classify_site(result) in SiteClass
+
+    def test_failures_classified_as_failures(self, dataset):
+        for result in dataset.results:
+            cls = classify_site(result)
+            if result.failure is SiteFailure.NXDOMAIN:
+                assert cls is SiteClass.LOADING_FAILURE_NXDOMAIN
+            elif result.failure is SiteFailure.OTHER:
+                assert cls is SiteClass.LOADING_FAILURE_OTHER
+
+    def test_partition_invariants(self, breakdown):
+        breakdown.check_invariants()  # raises on violation
+
+    def test_fig5_shape(self, breakdown):
+        """The headline Figure 5 proportions, loosely."""
+        b = breakdown
+        assert 0.10 <= b.nxdomain / b.total <= 0.18
+        v4_share = b.share_of_connected(b.ipv4_only)
+        partial_share = b.share_of_connected(b.ipv6_partial)
+        full_share = b.share_of_connected(b.ipv6_full)
+        assert 0.45 <= v4_share <= 0.70  # paper: 57.6%
+        assert partial_share > full_share  # partial dominates full
+        assert 0.05 <= full_share <= 0.30  # paper: 12.6%
+
+    def test_browser_used_ipv4_minority(self, breakdown):
+        """About 1 in 10 IPv6-full sites still rode IPv4 (Figure 5)."""
+        b = breakdown
+        assert b.ipv6_full > 0
+        share = b.browser_used_ipv4 / b.ipv6_full
+        assert 0.0 < share < 0.4
+
+    def test_fig6_rank_gradient(self, dataset):
+        rows = top_n_breakdown(dataset, ns=(100, NUM_SITES))
+        assert len(rows) == 2
+        top, full_list = rows
+        assert top.ipv6_full_share > full_list.ipv6_full_share
+        assert top.ipv4_only_share < full_list.ipv4_only_share
+
+    def test_top_n_skips_empty(self, dataset):
+        rows = top_n_breakdown(dataset, ns=(0,))
+        assert rows == []
+
+
+class TestDependencyAnalysis:
+    def test_counts_match_partial_population(self, analysis, breakdown):
+        assert analysis.num_partial == breakdown.ipv6_partial
+        assert len(analysis.v4only_resource_counts) == analysis.num_partial
+
+    def test_every_partial_site_has_v4only_resources(self, analysis):
+        assert all(c >= 1 for c in analysis.v4only_resource_counts)
+        assert all(0.0 < f <= 1.0 for f in analysis.v4only_resource_fractions)
+
+    def test_fig7_shape(self, analysis):
+        """Multiple IPv4-only resources, but a minority of all resources."""
+        counts = np.array(analysis.v4only_resource_counts)
+        fractions = np.array(analysis.v4only_resource_fractions)
+        assert np.percentile(counts, 50) >= 2  # paper: p50 = 7
+        assert np.percentile(fractions, 50) <= 0.5  # paper: p50 = 0.21
+
+    def test_fig8_span_long_tail(self, analysis):
+        spans = np.array([i.span for i in analysis.domain_impacts.values()])
+        assert np.percentile(spans, 75) <= 3  # paper: p75 = 2
+        assert spans.max() >= 10 * np.percentile(spans, 75)  # heavy head
+
+    def test_contributions_valid(self, analysis):
+        for impact in analysis.domain_impacts.values():
+            assert len(impact.contributions) == impact.span
+            assert all(0.0 < c <= 1.0 for c in impact.contributions)
+            assert 0.0 < impact.median_contribution <= 1.0
+
+    def test_first_party_rare(self, analysis):
+        """First-party-only partial sites are rare (paper: 2.3%)."""
+        assert len(analysis.first_party_only_sites) < 0.2 * analysis.num_partial
+
+    def test_impacts_sorted_by_span(self, analysis):
+        impacts = analysis.impacts_by_span()
+        spans = [i.span for i in impacts]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestWhatIf:
+    def test_curve_monotone_and_complete(self, analysis):
+        curve = whatif_adoption_curve(analysis)
+        assert curve
+        fulls = [full for _, full in curve]
+        assert fulls == sorted(fulls)
+        assert curve[-1][1] == analysis.num_partial  # all eventually full
+        assert curve[-1][0] == len(analysis.domain_impacts)
+
+    def test_fig10_head_unlocks_disproportionately(self, analysis):
+        """A few percent of domains unlock >25% of partial sites."""
+        curve = whatif_adoption_curve(analysis)
+        k = max(1, round(0.033 * len(curve)))
+        unlocked = curve[k - 1][1] / analysis.num_partial
+        assert unlocked > 0.25
+
+    def test_empty_analysis(self):
+        from repro.core.deps import DependencyAnalysis
+
+        empty = DependencyAnalysis(
+            partial_sites=[], v4only_resource_counts=[],
+            v4only_resource_fractions=[], domain_impacts={},
+            first_party_only_sites=[], site_pending_domains={},
+        )
+        assert whatif_adoption_curve(empty) == []
+
+
+class TestHeavyHitters:
+    def test_fig9_ads_dominate(self, eco, analysis):
+        pool = eco.pool
+        histogram = heavy_hitter_categories(
+            analysis,
+            lambda d: pool.get(d).category if d in pool else None,
+            min_span=max(3, NUM_SITES // 250),
+        )
+        assert histogram
+        top_category, _ = histogram.most_common(1)[0]
+        assert top_category is not None
+        assert top_category.value == "ads"
+
+    def test_uncategorizable_counted_under_none(self, analysis):
+        histogram = heavy_hitter_categories(analysis, lambda d: None, min_span=1)
+        assert set(histogram) == {None}
+
+
+class TestResourceTypeMatrix:
+    def test_fig18_shape(self, analysis):
+        domains, types, matrix = resource_type_matrix(analysis, top_k=10)
+        assert len(domains) <= 10
+        assert matrix.shape == (len(domains), len(types))
+        assert (matrix >= 0).all()
+        assert matrix.sum() > 0
+
+    def test_row_totals_bounded_by_span(self, analysis):
+        domains, types, matrix = resource_type_matrix(analysis, top_k=10)
+        for i, domain in enumerate(domains):
+            span = analysis.domain_impacts[domain].span
+            assert matrix[i].max() <= span
+
+    def test_validation(self, analysis):
+        with pytest.raises(ValueError):
+            resource_type_matrix(analysis, top_k=0)
+
+
+class TestVersionSplit:
+    def test_estimate_small(self, dataset):
+        suspected, total = estimate_version_split_misclassification(dataset)
+        assert total > 0
+        assert suspected <= total
+        # Deliberate v4-only subdomains are a rare edge case (paper: 0.4%).
+        assert suspected / total < 0.1

@@ -1,0 +1,152 @@
+"""Tests for the browser and census crawler."""
+
+import pytest
+
+from repro.crawler.browser import BrowserConfig, SimulatedBrowser
+from repro.crawler.crawl import CensusConfig, WebCensus
+from repro.crawler.records import SiteFailure
+from repro.net.addr import Family
+from repro.net.dns import DnsStatus
+from repro.util.rng import RngStream
+from repro.web.ecosystem import SiteStatus, WebEcosystem, WebEcosystemConfig
+
+
+@pytest.fixture(scope="module")
+def eco() -> WebEcosystem:
+    return WebEcosystem(WebEcosystemConfig(num_sites=300, seed=11))
+
+
+@pytest.fixture(scope="module")
+def dataset(eco):
+    return WebCensus(eco, CensusConfig(seed=11)).run()
+
+
+class TestBrowser:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BrowserConfig(slow_aaaa_probability=2.0)
+        with pytest.raises(ValueError):
+            BrowserConfig(dns_latency=-1)
+
+    def test_dns_cache(self, eco):
+        browser = SimulatedBrowser(
+            eco.resolver, eco.connectivity, RngStream(1, "b")
+        )
+        plan = next(p for p in eco.plans.values() if p.status is SiteStatus.OK)
+        host = plan.website.main_host
+        before = eco.resolver.queries_issued
+        browser.resolve(host)
+        mid = eco.resolver.queries_issued
+        browser.resolve(host)
+        assert eco.resolver.queries_issued == mid
+        assert mid > before
+
+    def test_fetch_nonexistent(self, eco):
+        browser = SimulatedBrowser(eco.resolver, eco.connectivity, RngStream(1, "b"))
+        outcome = browser.fetch("definitely.not-a-site.zz")
+        assert not outcome.succeeded
+        assert outcome.dns_failed
+        assert outcome.family_used is None
+
+    def test_fetch_dual_stack_prefers_v6(self, eco):
+        browser = SimulatedBrowser(
+            eco.resolver, eco.connectivity, RngStream(1, "b"),
+            BrowserConfig(slow_aaaa_probability=0.0),
+        )
+        for plan in eco.plans.values():
+            if plan.tenant is None:
+                continue
+            www = plan.tenant.main_placement
+            if www.has_aaaa and plan.status is SiteStatus.OK:
+                outcome = browser.fetch(www.fqdn)
+                assert outcome.family_used is Family.V6
+                break
+
+
+class TestCensus:
+    def test_one_result_per_entry(self, eco, dataset):
+        assert len(dataset) == len(eco.toplist)
+        ranks = [r.rank for r in dataset.results]
+        assert ranks == sorted(ranks)
+
+    def test_failures_match_ground_truth(self, eco, dataset):
+        for result in dataset.results:
+            plan = eco.plan_of(result.site)
+            if plan.status is SiteStatus.NXDOMAIN:
+                assert result.failure is SiteFailure.NXDOMAIN
+            elif plan.status in (SiteStatus.DNS_FAILURE, SiteStatus.TIMEOUT,
+                                 SiteStatus.TLS_FAILURE):
+                assert result.failure is SiteFailure.OTHER
+            elif plan.status is SiteStatus.UNKNOWN_PRIMARY:
+                assert result.failure is SiteFailure.UNKNOWN_PRIMARY
+            else:
+                assert result.connected, result.site
+
+    def test_connected_sites_have_main_page_record(self, dataset):
+        for result in dataset.connected_results():
+            main = result.main_page_request()
+            assert main is not None
+            assert main.fqdn == result.final_host
+            assert main.succeeded
+
+    def test_link_clicks_bounded(self, dataset):
+        for result in dataset.connected_results():
+            assert 1 <= len(result.pages_visited) <= 6  # main + up to 5
+
+    def test_pages_same_site(self, eco, dataset):
+        for result in dataset.connected_results()[:50]:
+            plan = eco.plan_of(result.site)
+            for path in result.pages_visited:
+                assert path in plan.website.pages
+
+    def test_resources_recorded_once_per_site(self, dataset):
+        for result in dataset.connected_results()[:50]:
+            fqdns = [r.fqdn for r in result.resource_requests()]
+            assert len(fqdns) == len(set(fqdns))
+
+    def test_aaaa_availability_matches_ground_truth(self, eco, dataset):
+        """The census's DNS view must agree with placement ground truth."""
+        checked = 0
+        for result in dataset.connected_results():
+            plan = eco.plan_of(result.site)
+            truth = {p.fqdn: p.has_aaaa for p in plan.tenant.placements}
+            for record in result.resource_requests():
+                if record.fqdn in truth and record.succeeded:
+                    assert record.has_aaaa == truth[record.fqdn]
+                    checked += 1
+        assert checked > 50
+
+    def test_nested_dependencies_crawled(self, eco, dataset):
+        """Resources at depth >= 1 appear (ad syndication chains)."""
+        depths = {r.depth for r in dataset.all_requests()}
+        assert 0 in depths
+        assert any(d >= 1 for d in depths)
+
+    def test_cname_chains_expose_services(self, eco, dataset):
+        identified = 0
+        for record in dataset.all_requests()[:400]:
+            if len(record.cname_chain) >= 2:
+                if eco.service_of_cname(record.cname_chain[-1]) is not None:
+                    identified += 1
+        assert identified > 100
+
+    def test_zero_link_clicks_config(self, eco):
+        dataset = WebCensus(eco, CensusConfig(link_clicks=0, seed=1)).run()
+        for result in dataset.connected_results():
+            assert result.pages_visited == ["/"]
+
+    def test_link_clicks_discover_more_resources(self, eco):
+        """Clicking links finds more third parties (section 4.2's 1.6%
+        IPv6-full drop when links are followed)."""
+        no_clicks = WebCensus(eco, CensusConfig(link_clicks=0, seed=1)).run()
+        clicks = WebCensus(eco, CensusConfig(link_clicks=5, seed=1)).run()
+        n0 = len(no_clicks.unique_fqdns())
+        n5 = len(clicks.unique_fqdns())
+        assert n5 >= n0
+
+    def test_deterministic(self, eco):
+        d1 = WebCensus(eco, CensusConfig(seed=2)).run()
+        d2 = WebCensus(eco, CensusConfig(seed=2)).run()
+        assert [len(r.requests) for r in d1.results] == [
+            len(r.requests) for r in d2.results
+        ]

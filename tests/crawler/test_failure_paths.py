@@ -1,0 +1,126 @@
+"""Crawler robustness: redirect loops, empty pages, injected failures."""
+
+import pytest
+
+from repro.crawler.crawl import CensusConfig, WebCensus
+from repro.crawler.records import SiteFailure
+from repro.net.addr import IpAddress, Prefix
+from repro.net.dns import DnsRecordType, DnsStatus
+from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
+from repro.web.sites import Page, Website
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return WebEcosystem(WebEcosystemConfig(num_sites=120, seed=55))
+
+
+@pytest.fixture(scope="module")
+def census(eco):
+    return WebCensus(eco, CensusConfig(seed=55))
+
+
+class TestRedirectHandling:
+    def test_redirect_loop_is_other_failure(self, eco, census):
+        """A site whose redirects cycle forever must not hang the crawl."""
+        plan = next(
+            p for p in eco.plans.values()
+            if p.website is not None and p.status.value == "ok"
+        )
+        website = plan.website
+        original = dict(website.redirects)
+        try:
+            website.redirects[website.main_host] = website.etld1  # cycle
+            result = census.crawl_site(website.etld1, website.rank)
+            assert result.failure is SiteFailure.OTHER
+        finally:
+            website.redirects.clear()
+            website.redirects.update(original)
+
+    def test_unknown_site_is_nxdomain(self, census):
+        result = census.crawl_site("never-created-site.zz", 1)
+        assert result.failure is SiteFailure.NXDOMAIN
+        assert not result.requests
+
+    def test_midcrawl_dns_failure_marks_other(self, eco, census):
+        plan = next(
+            p for p in eco.plans.values()
+            if p.website is not None and p.status.value == "ok"
+        )
+        host = plan.website.main_host
+        eco.resolver.inject_failure(host, DnsStatus.SERVFAIL)
+        try:
+            # A fresh census avoids the shared browser's DNS cache.
+            fresh = WebCensus(eco, CensusConfig(seed=56))
+            result = fresh.crawl_site(plan.entry.etld1, plan.entry.rank)
+            assert result.failure is SiteFailure.OTHER
+        finally:
+            eco.resolver.clear_failure(host)
+
+
+class TestDegeneratePages:
+    def test_site_with_no_links(self, eco):
+        """A single-page site crawls fine with zero clicks available."""
+        zone = eco.zones.get_or_create_zone("lonely-test.com")
+        zone.add("www.lonely-test.com", DnsRecordType.A, IpAddress.parse("4.3.2.1"))
+        eco.routing.announce(Prefix.parse("4.3.2.0/24"), 65000)
+        website = Website(etld1="lonely-test.com", rank=1, main_host="www.lonely-test.com")
+        website.pages["/"] = Page(path="/")
+        website.redirects["lonely-test.com"] = "www.lonely-test.com"
+        zone.add("lonely-test.com", DnsRecordType.A, IpAddress.parse("4.3.2.2"))
+        from repro.web.ecosystem import SitePlan, SiteStatus
+        from repro.web.toplist import TopListEntry
+
+        eco.plans["lonely-test.com"] = SitePlan(
+            TopListEntry(1, "lonely-test.com"), SiteStatus.OK, website=website
+        )
+        fresh = WebCensus(eco, CensusConfig(seed=57))
+        result = fresh.crawl_site("lonely-test.com", 1)
+        assert result.connected
+        assert result.pages_visited == ["/"]
+        assert result.main_page_request() is not None
+
+    def test_fewer_links_than_clicks(self, eco):
+        """Sites with fewer than five links yield fewer visited pages."""
+        fresh = WebCensus(eco, CensusConfig(link_clicks=50, seed=58))
+        plan = next(
+            p for p in eco.plans.values()
+            if p.website is not None and p.status.value == "ok"
+        )
+        result = fresh.crawl_site(plan.entry.etld1, plan.entry.rank)
+        assert len(result.pages_visited) <= len(plan.website.pages)
+
+
+class TestFailedResourceHandling:
+    def test_failed_resources_recorded_but_not_classified(self, eco):
+        """A resource whose DNS fails is recorded with succeeded=False;
+        the paper excludes such resources from classification."""
+        from repro.core.readiness import classify_site, SiteClass
+
+        plan = next(
+            p for p in eco.plans.values()
+            if p.website is not None and p.status.value == "ok"
+            and p.tenant.main_placement.has_aaaa
+        )
+        # Break one of the site's third-party resources.
+        target = None
+        for page in plan.website.pages.values():
+            for resource in page.resources:
+                if not resource.fqdn.endswith(plan.entry.etld1):
+                    target = resource.fqdn
+                    break
+            if target:
+                break
+        if target is None:
+            pytest.skip("site has no third-party resources")
+        eco.resolver.inject_failure(target, DnsStatus.TIMEOUT)
+        try:
+            fresh = WebCensus(eco, CensusConfig(seed=59))
+            result = fresh.crawl_site(plan.entry.etld1, plan.entry.rank)
+            assert result.connected
+            failed = [r for r in result.resource_requests() if not r.succeeded]
+            assert any(r.fqdn == target for r in failed)
+            # Classification ignores the failed resource entirely.
+            assert classify_site(result) in (SiteClass.IPV6_PARTIAL, SiteClass.IPV6_FULL)
+        finally:
+            eco.resolver.clear_failure(target)

@@ -1,0 +1,91 @@
+"""Flow monitor edge cases: observation gaps, transit traffic, ICMP export."""
+
+import pytest
+
+from repro.core import daily_fractions
+from repro.flowmon.conntrack import ConntrackTable, FlowKey, IcmpInfo, Protocol
+from repro.flowmon.export import FlowExporter
+from repro.flowmon.monitor import FlowMonitor, FlowScope, RouterConfig
+from repro.net.addr import IpAddress, Prefix
+from repro.traffic.generate import ResidenceDataset
+from repro.traffic.residences import residences_by_name
+from repro.traffic.universe import ServiceUniverse
+from repro.traffic.apps import build_service_catalog
+from repro.util.timeutil import DAY
+
+LAN4 = Prefix.parse("192.168.1.0/24")
+LAN6 = Prefix.parse("2001:db8:aaaa::/48")
+
+
+def make_monitor() -> FlowMonitor:
+    return FlowMonitor(RouterConfig(name="T", lan_v4=LAN4, lan_v6=LAN6))
+
+
+def observe(monitor: FlowMonitor, src: str, dst: str, day: int, v6: bool = False):
+    table = ConntrackTable()
+    monitor.attach(table)
+    key = FlowKey(
+        Protocol.TCP, IpAddress.parse(src), IpAddress.parse(dst), 40000, 443
+    )
+    table.observe_flow(key, day * DAY + 100.0, day * DAY + 200.0, 100, 1000)
+
+
+class TestObservationGaps:
+    def test_missing_days_skipped_in_daily_series(self):
+        """A router outage (no flows for some days) must not poison the
+        daily-fraction series -- the analysis reports observed days only."""
+        monitor = make_monitor()
+        observe(monitor, "192.168.1.5", "8.8.8.8", day=0)
+        observe(monitor, "192.168.1.5", "8.8.8.8", day=5)  # days 1-4 silent
+        universe = ServiceUniverse(build_service_catalog())
+        dataset = ResidenceDataset(
+            profile=residences_by_name()["A"],
+            monitor=monitor,
+            universe=universe,
+            num_days=6,
+        )
+        fractions = daily_fractions(dataset)
+        assert len(fractions) == 2  # only the two observed days
+
+    def test_observed_days_sorted(self):
+        monitor = make_monitor()
+        observe(monitor, "192.168.1.5", "8.8.8.8", day=7)
+        observe(monitor, "192.168.1.5", "8.8.8.8", day=2)
+        assert monitor.observed_days() == [2, 7]
+
+
+class TestTransitTraffic:
+    def test_transit_isolated_from_analyses(self):
+        """Flows with no local endpoint are logged as TRANSIT and never
+        pollute the external/internal splits."""
+        monitor = make_monitor()
+        observe(monitor, "1.1.1.1", "8.8.8.8", day=0)
+        assert len(monitor.records(scope=FlowScope.TRANSIT)) == 1
+        assert not monitor.records(scope=FlowScope.EXTERNAL)
+        assert not monitor.records(scope=FlowScope.INTERNAL)
+
+
+class TestIcmpExport:
+    def test_icmp_flow_exports_cleanly(self):
+        monitor = make_monitor()
+        table = ConntrackTable()
+        monitor.attach(table)
+        key = FlowKey(
+            Protocol.ICMP,
+            IpAddress.parse("192.168.1.9"),
+            IpAddress.parse("9.9.9.9"),
+            icmp=IcmpInfo(icmp_type=8, icmp_code=0, icmp_id=77),
+        )
+        table.observe_flow(key, 10.0, 12.0, 128, 128, packets_out=2, packets_in=2)
+        exporter = FlowExporter(monitor, key=b"icmp-export-test-key-0123456789")
+        exported = exporter.export_all()
+        assert len(exported) == 1
+        record = exported[0]
+        assert record.protocol is Protocol.ICMP
+        assert record.bytes_total == 256
+        assert str(record.peer) == "9.9.9.9"
+
+    def test_exporter_requires_real_key(self):
+        monitor = make_monitor()
+        with pytest.raises(ValueError):
+            FlowExporter(monitor, key=b"short")

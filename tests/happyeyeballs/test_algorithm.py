@@ -1,0 +1,182 @@
+"""Tests for the RFC 8305 Happy Eyeballs implementation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.happyeyeballs.algorithm import (
+    AttemptOutcome,
+    HappyEyeballs,
+    HappyEyeballsConfig,
+    StaticConnectivity,
+    interleave_addresses,
+)
+from repro.net.addr import Family, IpAddress
+
+V4_A = IpAddress.parse("192.0.2.1")
+V4_B = IpAddress.parse("192.0.2.2")
+V6_A = IpAddress.parse("2001:db8::1")
+V6_B = IpAddress.parse("2001:db8::2")
+
+
+class TestConfig:
+    def test_defaults_match_rfc(self):
+        cfg = HappyEyeballsConfig()
+        assert cfg.resolution_delay == pytest.approx(0.050)
+        assert cfg.attempt_delay == pytest.approx(0.250)
+        assert cfg.first_address_family_count == 1
+        assert cfg.preferred_family is Family.V6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HappyEyeballsConfig(resolution_delay=-1)
+        with pytest.raises(ValueError):
+            HappyEyeballsConfig(attempt_delay=0)
+        with pytest.raises(ValueError):
+            HappyEyeballsConfig(first_address_family_count=0)
+        with pytest.raises(ValueError):
+            HappyEyeballsConfig(overall_timeout=0)
+
+
+class TestInterleave:
+    def test_v6_first_by_default(self):
+        ordered = interleave_addresses([V4_A, V4_B], [V6_A, V6_B])
+        assert ordered == [V6_A, V4_A, V6_B, V4_B]
+
+    def test_first_family_count(self):
+        ordered = interleave_addresses([V4_A], [V6_A, V6_B], first_address_family_count=2)
+        assert ordered == [V6_A, V6_B, V4_A]
+
+    def test_prefer_v4(self):
+        ordered = interleave_addresses([V4_A, V4_B], [V6_A], preferred_family=Family.V4)
+        assert ordered == [V4_A, V6_A, V4_B]
+
+    def test_one_family_only(self):
+        assert interleave_addresses([V4_A, V4_B], []) == [V4_A, V4_B]
+        assert interleave_addresses([], [V6_A]) == [V6_A]
+
+    def test_empty(self):
+        assert interleave_addresses([], []) == []
+
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_no_address_lost(self, n4, n6, first_count):
+        v4 = [IpAddress.v4(1000 + i) for i in range(n4)]
+        v6 = [IpAddress.v6(2000 + i) for i in range(n6)]
+        ordered = interleave_addresses(v4, v6, first_address_family_count=first_count)
+        assert sorted(ordered, key=str) == sorted(v4 + v6, key=str)
+
+
+class TestConnect:
+    def test_v6_wins_on_dual_stack(self):
+        he = HappyEyeballs()
+        result = he.connect([V4_A], [V6_A], StaticConnectivity())
+        assert result.connected
+        assert result.used_family is Family.V6
+
+    def test_v4_only_site_uses_v4(self):
+        he = HappyEyeballs()
+        result = he.connect([V4_A], [], StaticConnectivity())
+        assert result.used_family is Family.V4
+
+    def test_no_addresses(self):
+        he = HappyEyeballs()
+        result = he.connect([], [], StaticConnectivity())
+        assert not result.connected
+        assert result.attempts == ()
+        assert result.connect_time is None
+
+    def test_v6_unreachable_falls_back(self):
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: None})
+        result = he.connect([V4_A], [V6_A], conn)
+        assert result.connected
+        assert result.used_family is Family.V4
+        outcomes = {a.address: a.outcome for a in result.attempts}
+        assert outcomes[V6_A] in (AttemptOutcome.FAILED, AttemptOutcome.CANCELLED)
+
+    def test_all_unreachable(self):
+        he = HappyEyeballs()
+        conn = StaticConnectivity(default_latency=None)
+        result = he.connect([V4_A], [V6_A], conn)
+        assert not result.connected
+        assert len(result.attempts) == 2
+
+    def test_slow_v6_loses_race(self):
+        """IPv6 slower than attempt_delay + v4 latency: IPv4 wins."""
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: 0.500, V4_A: 0.010})
+        result = he.connect([V4_A], [V6_A], conn)
+        assert result.used_family is Family.V4
+        # The cancelled IPv6 attempt still sent a SYN: both families show
+        # up as flows (the paper's flow-count inflation effect).
+        assert result.attempted_families() == {Family.V4, Family.V6}
+
+    def test_fast_v6_prevents_v4_attempt(self):
+        """IPv6 connects within attempt_delay: no IPv4 SYN at all."""
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: 0.020, V4_A: 0.020})
+        result = he.connect([V4_A], [V6_A], conn)
+        assert result.used_family is Family.V6
+        assert result.attempted_families() == {Family.V6}
+
+    def test_late_aaaa_answer_forfeits_head_start(self):
+        """AAAA arriving after the resolution delay lets IPv4 lead."""
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: 0.010, V4_A: 0.010})
+        result = he.connect(
+            [V4_A], [V6_A], conn, v4_resolution_time=0.010, v6_resolution_time=0.500
+        )
+        assert result.used_family is Family.V4
+
+    def test_aaaa_within_resolution_delay_waits(self):
+        """AAAA 30ms after A (inside the 50ms budget): IPv6 still leads."""
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: 0.010, V4_A: 0.010})
+        result = he.connect(
+            [V4_A], [V6_A], conn, v4_resolution_time=0.010, v6_resolution_time=0.040
+        )
+        assert result.used_family is Family.V6
+
+    def test_connect_time_accounts_resolution(self):
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: 0.020})
+        result = he.connect([], [V6_A], conn, v6_resolution_time=0.015)
+        assert result.connect_time == pytest.approx(0.035)
+
+    def test_attempts_sorted_by_start(self):
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V6_A: None, V6_B: None, V4_A: None, V4_B: None})
+        result = he.connect([V4_A, V4_B], [V6_A, V6_B], conn)
+        starts = [a.start_time for a in result.attempts]
+        assert starts == sorted(starts)
+
+    def test_winner_among_attempts(self):
+        he = HappyEyeballs()
+        result = he.connect([V4_A, V4_B], [V6_A, V6_B], StaticConnectivity())
+        assert result.winner in result.attempts
+
+    def test_overall_timeout(self):
+        he = HappyEyeballs(HappyEyeballsConfig(overall_timeout=0.1))
+        conn = StaticConnectivity(latencies={V6_A: 5.0})
+        result = he.connect([], [V6_A], conn)
+        assert not result.connected
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.4),
+        st.floats(min_value=0.001, max_value=0.4),
+    )
+    def test_always_connects_when_both_reachable(self, lat4, lat6):
+        he = HappyEyeballs()
+        conn = StaticConnectivity(latencies={V4_A: lat4, V6_A: lat6})
+        result = he.connect([V4_A], [V6_A], conn)
+        assert result.connected
+        # The winner's completion is no later than any successful attempt's.
+        assert all(
+            result.winner.end_time <= a.end_time
+            for a in result.attempts
+            if a.outcome is AttemptOutcome.SUCCEEDED
+        )

@@ -1,0 +1,99 @@
+"""Property-based tests for Happy Eyeballs race invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.happyeyeballs.algorithm import (
+    AttemptOutcome,
+    HappyEyeballs,
+    HappyEyeballsConfig,
+    StaticConnectivity,
+)
+from repro.net.addr import Family, IpAddress
+
+_LATENCY = st.one_of(st.none(), st.floats(min_value=0.001, max_value=2.0))
+
+
+def _addresses(n4: int, n6: int) -> tuple[list[IpAddress], list[IpAddress]]:
+    return (
+        [IpAddress.v4(0x0A000000 + i) for i in range(n4)],
+        [IpAddress.v6(0x20010DB8 << 96 | i) for i in range(n6)],
+    )
+
+
+class TestRaceInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.lists(_LATENCY, min_size=6, max_size=6),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_core_invariants(self, n4, n6, latencies, v6_res_time):
+        v4_addrs, v6_addrs = _addresses(n4, n6)
+        table = dict(zip(v4_addrs + v6_addrs, latencies))
+        connectivity = StaticConnectivity(latencies=table, default_latency=None)
+        he = HappyEyeballs()
+        result = he.connect(
+            v4_addrs, v6_addrs, connectivity,
+            v4_resolution_time=0.01, v6_resolution_time=v6_res_time,
+        )
+
+        # 1. Winner only if some address is reachable within timeout.
+        reachable = [a for a in v4_addrs + v6_addrs if table.get(a) is not None]
+        if not reachable:
+            assert not result.connected
+
+        # 2. At most one SUCCEEDED attempt that is the winner; its end time
+        #    is minimal among successes.
+        successes = [a for a in result.attempts if a.outcome is AttemptOutcome.SUCCEEDED]
+        if result.connected:
+            assert result.winner in successes
+            assert all(result.winner.end_time <= s.end_time for s in successes)
+
+        # 3. Attempts are ordered by start time, and none starts after the
+        #    race ended.
+        starts = [a.start_time for a in result.attempts]
+        assert starts == sorted(starts)
+        if result.connected:
+            assert all(a.start_time < result.winner.end_time for a in result.attempts)
+
+        # 4. No attempt ends before it starts.
+        assert all(a.end_time >= a.start_time for a in result.attempts)
+
+        # 5. Every attempted address was actually a candidate.
+        candidates = set(v4_addrs + v6_addrs)
+        assert all(a.address in candidates for a in result.attempts)
+        # No address is attempted twice.
+        attempted = [a.address for a in result.attempts]
+        assert len(attempted) == len(set(attempted))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.001, max_value=0.2), st.floats(min_value=0.001, max_value=0.2))
+    def test_v6_preferred_when_on_time_and_reachable(self, lat4, lat6):
+        """With the AAAA answer on time and IPv6 reachable and reasonably
+        fast, RFC 8305's preference makes IPv6 win whenever its handshake
+        beats the attempt-delay head start."""
+        v4_addrs, v6_addrs = _addresses(1, 1)
+        connectivity = StaticConnectivity(
+            latencies={v4_addrs[0]: lat4, v6_addrs[0]: lat6}
+        )
+        he = HappyEyeballs()
+        result = he.connect(v4_addrs, v6_addrs, connectivity)
+        assert result.connected
+        if lat6 < he.config.attempt_delay:
+            assert result.used_family is Family.V6
+
+    def test_config_sweep_monotone_attempts(self):
+        """Shrinking the attempt delay can only add (earlier) fallback
+        attempts, never remove the winning one."""
+        v4_addrs, v6_addrs = _addresses(1, 1)
+        connectivity = StaticConnectivity(
+            latencies={v4_addrs[0]: 0.02, v6_addrs[0]: 0.6}
+        )
+        slow = HappyEyeballs(HappyEyeballsConfig(attempt_delay=1.0))
+        fast = HappyEyeballs(HappyEyeballsConfig(attempt_delay=0.05))
+        slow_result = slow.connect(v4_addrs, v6_addrs, connectivity)
+        fast_result = fast.connect(v4_addrs, v6_addrs, connectivity)
+        assert slow_result.used_family is Family.V6  # patient: v6 finishes
+        assert fast_result.used_family is Family.V4  # eager: v4 steals it

@@ -1,0 +1,87 @@
+"""Tests for the AS registry and reverse DNS."""
+
+import pytest
+
+from repro.net.addr import IpAddress
+from repro.net.asn import AsCategory, AsRegistry
+from repro.net.psl import default_psl
+from repro.net.rdns import ReverseDns
+
+
+class TestAsRegistry:
+    def test_register_and_lookup(self):
+        registry = AsRegistry()
+        info = registry.register(
+            13335, "CLOUDFLARENET", org_id="cloudflare", org_name="Cloudflare, Inc.",
+            category=AsCategory.HOSTING_CLOUD,
+        )
+        assert registry.lookup(13335) is info
+        assert registry.organization_of(13335).name == "Cloudflare, Inc."
+        assert 13335 in registry
+        assert registry.lookup(99999) is None
+
+    def test_multiple_ases_per_org(self):
+        """Amazon-style: one org, several ASes (paper section 5.1)."""
+        registry = AsRegistry()
+        registry.register(16509, "AMAZON-02", org_id="amazon", org_name="Amazon.com, Inc.")
+        registry.register(14618, "AMAZON-AES", org_id="amazon")
+        ases = registry.ases_of_org("amazon")
+        assert {a.asn for a in ases} == {16509, 14618}
+        assert registry.organization_of(16509) == registry.organization_of(14618)
+
+    def test_duplicate_asn_rejected(self):
+        registry = AsRegistry()
+        registry.register(1, "A", org_id="a")
+        with pytest.raises(ValueError):
+            registry.register(1, "B", org_id="b")
+
+    def test_conflicting_org_name_rejected(self):
+        registry = AsRegistry()
+        registry.register_org("x", "X Corp")
+        with pytest.raises(ValueError):
+            registry.register_org("x", "Y Corp")
+
+    def test_invalid_asn(self):
+        registry = AsRegistry()
+        with pytest.raises(ValueError):
+            registry.register(0, "BAD", org_id="bad")
+
+    def test_all_sorted(self):
+        registry = AsRegistry()
+        registry.register(30, "C", org_id="c")
+        registry.register(10, "A", org_id="a")
+        registry.register(20, "B", org_id="b")
+        assert [a.asn for a in registry.all_ases()] == [10, 20, 30]
+        assert len(registry) == 3
+
+
+class TestReverseDns:
+    def test_register_lookup(self):
+        rdns = ReverseDns()
+        addr = IpAddress.parse("198.51.100.7")
+        rdns.register(addr, "Server-7.CDN.Example.NET.")
+        assert rdns.lookup(addr) == "server-7.cdn.example.net"
+        assert addr in rdns
+        assert len(rdns) == 1
+
+    def test_missing(self):
+        rdns = ReverseDns()
+        assert rdns.lookup(IpAddress.parse("10.0.0.1")) is None
+
+    def test_etld1_lookup(self):
+        rdns = ReverseDns()
+        addr = IpAddress.parse("198.51.100.7")
+        rdns.register(addr, "edge-7.lax.cdn.example.net")
+        assert rdns.lookup_etld1(addr, default_psl()) == "example.net"
+
+    def test_etld1_missing_is_none(self):
+        rdns = ReverseDns()
+        assert rdns.lookup_etld1(IpAddress.parse("10.0.0.1"), default_psl()) is None
+
+    def test_cloud_canonical_name_pitfall(self):
+        """Cloud-hosted tenant reverse-maps to the cloud's domain, not the
+        tenant's (the limitation the paper hits in section 3.4)."""
+        rdns = ReverseDns()
+        addr = IpAddress.parse("198.51.100.99")
+        rdns.register(addr, "ec2-198-51-100-99.compute.cloudhost.com")
+        assert rdns.lookup_etld1(addr, default_psl()) == "cloudhost.com"

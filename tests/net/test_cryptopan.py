@@ -1,0 +1,136 @@
+"""Tests for CryptoPAN prefix-preserving anonymization.
+
+The central property (from Xu et al.): two addresses sharing exactly a
+k-bit prefix must anonymize to addresses sharing exactly a k-bit prefix.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import Family, IpAddress
+from repro.net.cryptopan import CryptoPan
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+def shared_prefix_len(a: IpAddress, b: IpAddress) -> int:
+    assert a.family is b.family
+    for i in range(a.family.bits):
+        if a.bit(i) != b.bit(i):
+            return i
+    return a.family.bits
+
+
+class TestConstruction:
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoPan(b"short")
+
+    def test_deterministic(self):
+        pan1 = CryptoPan(KEY)
+        pan2 = CryptoPan(KEY)
+        addr = IpAddress.parse("203.0.113.9")
+        assert pan1.anonymize(addr) == pan2.anonymize(addr)
+
+    def test_key_sensitivity(self):
+        addr = IpAddress.parse("203.0.113.9")
+        a = CryptoPan(KEY).anonymize(addr)
+        b = CryptoPan(b"another-key-entirely-0123456789").anonymize(addr)
+        assert a != b
+
+    def test_family_preserved(self):
+        pan = CryptoPan(KEY)
+        v4 = pan.anonymize(IpAddress.parse("10.0.0.1"))
+        v6 = pan.anonymize(IpAddress.parse("2001:db8::1"))
+        assert v4.family is Family.V4
+        assert v6.family is Family.V6
+
+
+class TestPrefixPreservation:
+    @settings(max_examples=100)
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_v4_shared_prefix_exactly_preserved(self, va, vb):
+        pan = CryptoPan(KEY)
+        a, b = IpAddress.v4(va), IpAddress.v4(vb)
+        k = shared_prefix_len(a, b)
+        ka = shared_prefix_len(pan.anonymize(a), pan.anonymize(b))
+        assert ka == k
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=0, max_value=2**128 - 1),
+        st.integers(min_value=0, max_value=2**128 - 1),
+    )
+    def test_v6_shared_prefix_exactly_preserved(self, va, vb):
+        pan = CryptoPan(KEY)
+        a, b = IpAddress.v6(va), IpAddress.v6(vb)
+        k = shared_prefix_len(a, b)
+        ka = shared_prefix_len(pan.anonymize(a), pan.anonymize(b))
+        assert ka == k
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_injective_on_samples(self, value):
+        """Anonymization is a bijection; same output implies same input."""
+        pan = CryptoPan(KEY)
+        other = value ^ 1  # differs in last bit
+        a = pan.anonymize(IpAddress.v4(value))
+        b = pan.anonymize(IpAddress.v4(other))
+        assert a != b
+
+
+class TestPartialScramble:
+    def test_protect_bits_pass_through(self):
+        pan = CryptoPan(KEY)
+        addr = IpAddress.parse("198.51.100.77")
+        result = pan.anonymize(addr, protect_bits=24)
+        for i in range(24):
+            assert result.bit(i) == addr.bit(i)
+
+    def test_protect_all_is_identity(self):
+        pan = CryptoPan(KEY)
+        addr = IpAddress.parse("198.51.100.77")
+        assert pan.anonymize(addr, protect_bits=32) == addr
+
+    def test_protect_bits_out_of_range(self):
+        pan = CryptoPan(KEY)
+        with pytest.raises(ValueError):
+            pan.anonymize(IpAddress.parse("10.0.0.1"), protect_bits=33)
+
+    def test_client_policy_v4_keeps_slash24(self):
+        pan = CryptoPan(KEY)
+        a = pan.anonymize_client(IpAddress.parse("203.0.113.10"))
+        b = pan.anonymize_client(IpAddress.parse("203.0.113.20"))
+        assert str(a).rsplit(".", 1)[0] == "203.0.113"
+        assert str(b).rsplit(".", 1)[0] == "203.0.113"
+
+    def test_client_policy_v6_keeps_slash64(self):
+        pan = CryptoPan(KEY)
+        addr = IpAddress.parse("2001:db8:aaaa:bbbb:1:2:3:4")
+        result = pan.anonymize_client(addr)
+        for i in range(64):
+            assert result.bit(i) == addr.bit(i)
+        # Interface identifier should (with overwhelming probability) change.
+        assert result != addr
+
+    def test_partial_scramble_still_prefix_preserving_below_boundary(self):
+        """Two addresses sharing 28 bits keep exactly 28 shared bits even
+        when the top 24 are protected."""
+        pan = CryptoPan(KEY)
+        a = IpAddress.parse("203.0.113.16")  # ...0001_0000
+        b = IpAddress.parse("203.0.113.31")  # ...0001_1111
+        k = shared_prefix_len(a, b)
+        ka = shared_prefix_len(
+            pan.anonymize(a, protect_bits=24), pan.anonymize(b, protect_bits=24)
+        )
+        assert ka == k == 28
+
+    def test_cache_reports(self):
+        pan = CryptoPan(KEY)
+        pan.anonymize(IpAddress.parse("10.0.0.1"))
+        pan.anonymize(IpAddress.parse("10.0.0.1"))
+        assert "hits=1" in pan.cache_info()

@@ -1,0 +1,181 @@
+"""Tests for DNS zones and the CNAME-chasing resolver."""
+
+import pytest
+
+from repro.net.addr import IpAddress
+from repro.net.dns import (
+    DnsError,
+    DnsRecordType,
+    DnsStatus,
+    Resolver,
+    ZoneDatabase,
+    normalize_name,
+)
+
+V4 = IpAddress.parse("192.0.2.1")
+V6 = IpAddress.parse("2001:db8::1")
+
+
+def make_resolver() -> Resolver:
+    db = ZoneDatabase()
+    zone = db.create_zone("example.com")
+    zone.add("example.com", DnsRecordType.A, V4)
+    zone.add("example.com", DnsRecordType.AAAA, V6)
+    zone.add("v4only.example.com", DnsRecordType.A, V4)
+    zone.add("www.example.com", DnsRecordType.CNAME, "cdn.provider.net")
+    provider = db.create_zone("provider.net")
+    provider.add("cdn.provider.net", DnsRecordType.A, IpAddress.parse("198.51.100.7"))
+    provider.add("cdn.provider.net", DnsRecordType.AAAA, IpAddress.parse("2001:db8:1::7"))
+    return Resolver(database=db)
+
+
+class TestNormalizeName:
+    def test_lowercase_and_trailing_dot(self):
+        assert normalize_name("WWW.Example.COM.") == "www.example.com"
+
+    def test_empty_rejected(self):
+        with pytest.raises(DnsError):
+            normalize_name("")
+        with pytest.raises(DnsError):
+            normalize_name("...")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(DnsError):
+            normalize_name("a..b")
+
+    def test_long_label_rejected(self):
+        with pytest.raises(DnsError):
+            normalize_name("x" * 64 + ".com")
+
+
+class TestZone:
+    def test_record_type_value_validation(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("example.com")
+        with pytest.raises(DnsError):
+            zone.add("example.com", DnsRecordType.A, V6)  # wrong family
+        with pytest.raises(DnsError):
+            zone.add("example.com", DnsRecordType.AAAA, V4)
+        with pytest.raises(DnsError):
+            zone.add("example.com", DnsRecordType.CNAME, V4)  # address in CNAME
+
+    def test_out_of_zone_rejected(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("example.com")
+        with pytest.raises(DnsError):
+            zone.add("other.org", DnsRecordType.A, V4)
+
+    def test_cname_exclusivity(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("example.com")
+        zone.add("a.example.com", DnsRecordType.A, V4)
+        with pytest.raises(DnsError):
+            zone.add("a.example.com", DnsRecordType.CNAME, "b.example.com")
+        zone.add("c.example.com", DnsRecordType.CNAME, "b.example.com")
+        with pytest.raises(DnsError):
+            zone.add("c.example.com", DnsRecordType.A, V4)
+
+    def test_duplicate_zone_rejected(self):
+        db = ZoneDatabase()
+        db.create_zone("example.com")
+        with pytest.raises(DnsError):
+            db.create_zone("EXAMPLE.com")
+
+    def test_get_or_create(self):
+        db = ZoneDatabase()
+        zone1 = db.get_or_create_zone("example.com")
+        zone2 = db.get_or_create_zone("example.com")
+        assert zone1 is zone2
+        assert len(db) == 1
+
+    def test_zone_for_longest_suffix(self):
+        db = ZoneDatabase()
+        db.create_zone("com")
+        sub = db.create_zone("example.com")
+        assert db.zone_for("www.example.com") is sub
+        assert db.zone_for("other.com").origin == "com"
+        assert db.zone_for("nothing.org") is None
+
+
+class TestResolver:
+    def test_simple_a_and_aaaa(self):
+        resolver = make_resolver()
+        a, aaaa = resolver.resolve_addresses("example.com")
+        assert a.status is DnsStatus.NOERROR
+        assert a.addresses == (V4,)
+        assert aaaa.addresses == (V6,)
+
+    def test_nodata_vs_nxdomain(self):
+        resolver = make_resolver()
+        aaaa = resolver.resolve("v4only.example.com", DnsRecordType.AAAA)
+        assert aaaa.status is DnsStatus.NOERROR
+        assert aaaa.is_nodata
+        missing = resolver.resolve("missing.example.com", DnsRecordType.A)
+        assert missing.status is DnsStatus.NXDOMAIN
+
+    def test_unknown_zone_is_nxdomain(self):
+        resolver = make_resolver()
+        response = resolver.resolve("www.unknown-tld.zz", DnsRecordType.A)
+        assert response.status is DnsStatus.NXDOMAIN
+
+    def test_cname_chain(self):
+        resolver = make_resolver()
+        response = resolver.resolve("www.example.com", DnsRecordType.A)
+        assert response.status is DnsStatus.NOERROR
+        assert response.chain == ("www.example.com", "cdn.provider.net")
+        assert response.canonical_name == "cdn.provider.net"
+        assert str(response.addresses[0]) == "198.51.100.7"
+
+    def test_cname_loop_detected(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("loop.com")
+        zone.add("a.loop.com", DnsRecordType.CNAME, "b.loop.com")
+        zone.add("b.loop.com", DnsRecordType.CNAME, "a.loop.com")
+        resolver = Resolver(database=db)
+        response = resolver.resolve("a.loop.com", DnsRecordType.A)
+        assert response.status is DnsStatus.SERVFAIL
+
+    def test_chain_too_long(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("deep.com")
+        for i in range(12):
+            zone.add(f"h{i}.deep.com", DnsRecordType.CNAME, f"h{i + 1}.deep.com")
+        zone.add("h12.deep.com", DnsRecordType.A, V4)
+        resolver = Resolver(database=db)
+        response = resolver.resolve("h0.deep.com", DnsRecordType.A)
+        assert response.status is DnsStatus.CHAIN_TOO_LONG
+
+    def test_dangling_cname_is_nxdomain(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("dangle.com")
+        zone.add("www.dangle.com", DnsRecordType.CNAME, "gone.nowhere-zone.net")
+        resolver = Resolver(database=db)
+        response = resolver.resolve("www.dangle.com", DnsRecordType.A)
+        assert response.status is DnsStatus.NXDOMAIN
+        assert response.chain[-1] == "gone.nowhere-zone.net"
+
+    def test_failure_injection(self):
+        resolver = make_resolver()
+        resolver.inject_failure("example.com", DnsStatus.SERVFAIL)
+        response = resolver.resolve("example.com", DnsRecordType.A)
+        assert response.status is DnsStatus.SERVFAIL
+        resolver.clear_failure("example.com")
+        assert resolver.resolve("example.com", DnsRecordType.A).status is DnsStatus.NOERROR
+
+    def test_failure_injection_mid_chain(self):
+        resolver = make_resolver()
+        resolver.inject_failure("cdn.provider.net", DnsStatus.TIMEOUT)
+        response = resolver.resolve("www.example.com", DnsRecordType.A)
+        assert response.status is DnsStatus.TIMEOUT
+        assert len(response.chain) == 2
+
+    def test_cannot_inject_noerror(self):
+        resolver = make_resolver()
+        with pytest.raises(ValueError):
+            resolver.inject_failure("example.com", DnsStatus.NOERROR)
+
+    def test_query_counter(self):
+        resolver = make_resolver()
+        before = resolver.queries_issued
+        resolver.resolve("www.example.com", DnsRecordType.A)
+        assert resolver.queries_issued == before + 2  # name + CNAME target

@@ -1,0 +1,104 @@
+"""Additional DNS edge cases: record removal, re-pointing, failure modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import IpAddress
+from repro.net.dns import (
+    DnsError,
+    DnsRecordType,
+    DnsStatus,
+    Resolver,
+    ZoneDatabase,
+    normalize_name,
+)
+
+V4A = IpAddress.parse("192.0.2.1")
+V4B = IpAddress.parse("192.0.2.2")
+V6A = IpAddress.parse("2001:db8::1")
+
+_LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+
+
+class TestRemove:
+    def test_remove_and_repoint(self):
+        """The ecosystem's TLS-failure flow: move a host to new addresses."""
+        db = ZoneDatabase()
+        zone = db.create_zone("move.com")
+        zone.add("www.move.com", DnsRecordType.A, V4A)
+        resolver = Resolver(database=db)
+        assert resolver.resolve("www.move.com", DnsRecordType.A).addresses == (V4A,)
+        assert zone.remove("www.move.com", DnsRecordType.A) == 1
+        zone.add("www.move.com", DnsRecordType.A, V4B)
+        assert resolver.resolve("www.move.com", DnsRecordType.A).addresses == (V4B,)
+
+    def test_remove_missing_returns_zero(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("x.com")
+        assert zone.remove("www.x.com", DnsRecordType.A) == 0
+
+    def test_remove_all_records_makes_name_nxdomain(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("gone.com")
+        zone.add("www.gone.com", DnsRecordType.A, V4A)
+        zone.remove("www.gone.com", DnsRecordType.A)
+        resolver = Resolver(database=db)
+        response = resolver.resolve("www.gone.com", DnsRecordType.A)
+        assert response.status is DnsStatus.NXDOMAIN
+
+    def test_remove_one_type_keeps_other(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("dual.com")
+        zone.add("www.dual.com", DnsRecordType.A, V4A)
+        zone.add("www.dual.com", DnsRecordType.AAAA, V6A)
+        zone.remove("www.dual.com", DnsRecordType.AAAA)
+        resolver = Resolver(database=db)
+        a = resolver.resolve("www.dual.com", DnsRecordType.A)
+        aaaa = resolver.resolve("www.dual.com", DnsRecordType.AAAA)
+        assert a.addresses == (V4A,)
+        assert aaaa.status is DnsStatus.NOERROR and aaaa.is_nodata
+
+    def test_remove_allows_cname_afterwards(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("swap.com")
+        zone.add("www.swap.com", DnsRecordType.A, V4A)
+        with pytest.raises(DnsError):
+            zone.add("www.swap.com", DnsRecordType.CNAME, "cdn.swap.com")
+        zone.remove("www.swap.com", DnsRecordType.A)
+        zone.add("www.swap.com", DnsRecordType.CNAME, "cdn.swap.com")
+
+
+class TestMultipleRecords:
+    def test_round_robin_a_records(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("multi.com")
+        zone.add("www.multi.com", DnsRecordType.A, V4A)
+        zone.add("www.multi.com", DnsRecordType.A, V4B)
+        resolver = Resolver(database=db)
+        response = resolver.resolve("www.multi.com", DnsRecordType.A)
+        assert set(response.addresses) == {V4A, V4B}
+
+    def test_txt_records(self):
+        db = ZoneDatabase()
+        zone = db.create_zone("meta.com")
+        zone.add("meta.com", DnsRecordType.TXT, "v=spf1.-all")
+        resolver = Resolver(database=db)
+        response = resolver.resolve("meta.com", DnsRecordType.TXT)
+        assert response.status is DnsStatus.NOERROR
+        assert len(response.answers) == 1
+
+
+class TestNormalizeNameProperty:
+    @given(st.lists(_LABEL, min_size=1, max_size=5))
+    def test_idempotent(self, labels):
+        name = ".".join(labels)
+        once = normalize_name(name)
+        assert normalize_name(once) == once
+
+    @given(st.lists(_LABEL, min_size=1, max_size=5))
+    def test_case_insensitive(self, labels):
+        name = ".".join(labels)
+        assert normalize_name(name.upper()) == normalize_name(name)

@@ -1,0 +1,124 @@
+"""Tests for the Public Suffix List engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.psl import PublicSuffixList, default_psl
+
+_LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self):
+        psl = default_psl()
+        assert psl.public_suffix("example.com") == "com"
+        assert psl.public_suffix("www.example.com") == "com"
+
+    def test_second_level_registry(self):
+        psl = default_psl()
+        assert psl.public_suffix("example.co.uk") == "co.uk"
+        assert psl.public_suffix("www.example.co.uk") == "co.uk"
+
+    def test_wildcard_rule(self):
+        psl = default_psl()
+        # "*.ck" makes any second-level label under ck a public suffix.
+        assert psl.public_suffix("example.anything.ck") == "anything.ck"
+
+    def test_exception_rule(self):
+        psl = default_psl()
+        # "!www.ck" exempts www.ck: its suffix is just "ck".
+        assert psl.public_suffix("www.ck") == "ck"
+
+    def test_unlisted_tld_uses_implicit_star(self):
+        psl = default_psl()
+        assert psl.public_suffix("example.zz") == "zz"
+
+    def test_domain_equal_to_suffix(self):
+        psl = default_psl()
+        assert psl.public_suffix("com") == "com"
+
+    def test_private_section_cloud_suffix(self):
+        psl = default_psl()
+        assert psl.public_suffix("tenant.s3.amazonaws.example") == "s3.amazonaws.example"
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            default_psl().public_suffix("bad..name")
+
+
+class TestEtldPlusOne:
+    def test_basic(self):
+        psl = default_psl()
+        assert psl.etld_plus_one("www.example.com") == "example.com"
+        assert psl.etld_plus_one("a.b.c.example.co.uk") == "example.co.uk"
+
+    def test_suffix_itself_has_no_etld1(self):
+        psl = default_psl()
+        assert psl.etld_plus_one("com") is None
+        assert psl.etld_plus_one("co.uk") is None
+
+    def test_exception_rule_etld1(self):
+        psl = default_psl()
+        # www.ck is registrable because of the exception rule.
+        assert psl.etld_plus_one("www.ck") == "www.ck"
+        assert psl.etld_plus_one("sub.www.ck") == "www.ck"
+
+    def test_cloud_tenant_is_own_site(self):
+        psl = default_psl()
+        assert (
+            psl.etld_plus_one("assets.tenant.s3.amazonaws.example")
+            == "tenant.s3.amazonaws.example"
+        )
+
+    def test_case_and_trailing_dot(self):
+        psl = default_psl()
+        assert psl.etld_plus_one("WWW.Example.COM.") == "example.com"
+
+
+class TestSameSite:
+    def test_same_site(self):
+        psl = default_psl()
+        assert psl.same_site("www.example.com", "api.example.com")
+        assert not psl.same_site("www.example.com", "www.other.com")
+
+    def test_suffix_never_same_site(self):
+        psl = default_psl()
+        assert not psl.same_site("com", "com")
+
+    def test_different_registries(self):
+        psl = default_psl()
+        assert not psl.same_site("example.co.uk", "example.com")
+
+
+class TestCustomRules:
+    def test_add_rule(self):
+        psl = PublicSuffixList.from_rules(("com",))
+        psl.add_rule("platform.com")
+        assert psl.public_suffix("user.platform.com") == "platform.com"
+        assert psl.etld_plus_one("a.user.platform.com") == "user.platform.com"
+
+    def test_longest_rule_wins(self):
+        psl = PublicSuffixList.from_rules(("com", "cdn.com", "edge.cdn.com"))
+        assert psl.public_suffix("x.edge.cdn.com") == "edge.cdn.com"
+        assert psl.public_suffix("x.cdn.com") == "cdn.com"
+
+    def test_malformed_rule(self):
+        with pytest.raises(ValueError):
+            PublicSuffixList.from_rules(("bad..rule",))
+
+    @given(st.lists(_LABEL, min_size=2, max_size=5))
+    def test_etld1_is_suffix_plus_one_label(self, labels):
+        """For any domain, eTLD+1 = one label + the public suffix."""
+        psl = default_psl()
+        domain = ".".join(labels)
+        suffix = psl.public_suffix(domain)
+        etld1 = psl.etld_plus_one(domain)
+        if etld1 is None:
+            assert domain == suffix
+        else:
+            assert etld1.endswith(suffix)
+            assert len(etld1.split(".")) == len(suffix.split(".")) + 1
+            assert domain.endswith(etld1)

@@ -1,0 +1,167 @@
+"""Tests for the activity model and device fleet."""
+
+import pytest
+
+from repro.net.addr import IpAddress
+from repro.traffic.activity import (
+    DEFAULT_HOUR_CURVE,
+    ActivityModel,
+    OccupancyPattern,
+    VacationWindow,
+)
+from repro.traffic.devices import Device, DeviceKind
+from repro.traffic.residences import build_paper_residences
+from repro.util.rng import RngStream
+from repro.util.timeutil import HOUR, hour_of_day
+
+
+class TestVacationWindow:
+    def test_contains(self):
+        window = VacationWindow(10, 12)
+        assert window.contains(10) and window.contains(12)
+        assert not window.contains(9) and not window.contains(13)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            VacationWindow(5, 4)
+
+
+class TestOccupancyPattern:
+    def test_default_curve_peaks_in_evening(self):
+        curve = DEFAULT_HOUR_CURVE
+        assert max(curve) == curve[22]  # 22:00-23:00 rise to midnight
+        assert min(curve) == curve[4]  # deepest trough before dawn
+        # Secondary mid-morning bump: 09:00 beats early afternoon.
+        assert curve[9] > curve[14]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyPattern(hour_curve=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            OccupancyPattern(weekend_factor=0)
+        with pytest.raises(ValueError):
+            OccupancyPattern(day_variability=-1)
+
+
+class TestActivityModel:
+    def make(self, **kwargs) -> ActivityModel:
+        defaults = dict(daily_sessions=50.0, background_sessions=10.0)
+        defaults.update(kwargs)
+        return ActivityModel(**defaults)
+
+    def test_vacation_suppresses_human_traffic_only(self):
+        model = self.make(vacations=(VacationWindow(3, 5),))
+        rng = RngStream(1)
+        assert model.human_session_times(4, rng) == []
+        assert len(model.background_session_times(4, rng)) > 0
+
+    def test_sessions_sorted_and_in_day(self):
+        model = self.make()
+        rng = RngStream(2)
+        times = model.human_session_times(7, rng)
+        assert times == sorted(times)
+        assert all(7 * 24 * HOUR <= t < 8 * 24 * HOUR for t in times)
+
+    def test_evening_heavier_than_predawn(self):
+        model = self.make(daily_sessions=200.0)
+        rng = RngStream(3)
+        evening, predawn = 0, 0
+        for day in range(30):
+            for t in model.human_session_times(day, rng):
+                hour = hour_of_day(t)
+                if 18 <= hour < 24:
+                    evening += 1
+                elif 2 <= hour < 6:
+                    predawn += 1
+        assert evening > predawn * 4
+
+    def test_day_multiplier_varies(self):
+        model = self.make(pattern=OccupancyPattern(day_variability=0.5))
+        rng = RngStream(4)
+        multipliers = {round(model.day_multiplier(d, rng), 6) for d in range(20)}
+        assert len(multipliers) > 10
+
+    def test_zero_variability_is_constant(self):
+        model = ActivityModel(
+            daily_sessions=10, background_sessions=0,
+            pattern=OccupancyPattern(day_variability=0.0),
+        )
+        rng = RngStream(5)
+        assert model.day_multiplier(0, rng) == 1.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityModel(daily_sessions=-1, background_sessions=0)
+
+
+class TestDevice:
+    def test_validation(self):
+        v4 = IpAddress.parse("192.168.1.10")
+        v6 = IpAddress.parse("2001:db8::10")
+        with pytest.raises(ValueError):
+            Device("d", DeviceKind.PC, v6, None)  # v6 where v4 expected
+        with pytest.raises(ValueError):
+            Device("d", DeviceKind.PC, v4, v4)  # v4 where v6 expected
+        with pytest.raises(ValueError):
+            Device("d", DeviceKind.PC, v4, v6, activity_weight=-1)
+
+    def test_capability(self):
+        v4 = IpAddress.parse("192.168.1.10")
+        v6 = IpAddress.parse("2001:db8::10")
+        dual = Device("d", DeviceKind.PC, v4, v6)
+        legacy = Device("l", DeviceKind.TV, v4, None)
+        assert dual.ipv6_capable and not legacy.ipv6_capable
+        assert legacy.address(v6.family) is None
+        assert dual.address(v6.family) == v6
+
+    def test_interactive_kinds(self):
+        assert DeviceKind.PC.interactive
+        assert DeviceKind.PHONE.interactive
+        assert not DeviceKind.NAS.interactive
+        assert not DeviceKind.IOT.interactive
+
+
+class TestResidenceProfiles:
+    def test_five_residences(self):
+        profiles = build_paper_residences()
+        assert [p.name for p in profiles] == ["A", "B", "C", "D", "E"]
+
+    def test_b_is_tunneled(self):
+        profiles = {p.name: p for p in build_paper_residences()}
+        assert not profiles["B"].native_ipv6
+        assert profiles["B"].isp == "Frontier"
+        assert profiles["B"].lan_v6 is not None  # tunnel still provides v6
+
+    def test_c_has_broken_devices(self):
+        profiles = {p.name: p for p in build_paper_residences()}
+        devices = profiles["C"].build_devices()
+        broken = [d for d in devices if not d.ipv6_capable]
+        assert len(broken) >= len(devices) // 2
+
+    def test_a_has_spring_break(self):
+        profiles = {p.name: p for p in build_paper_residences()}
+        model = profiles["A"].activity_model()
+        assert model.is_vacation(136)
+        assert not model.is_vacation(120)
+
+    def test_d_e_light_traffic(self):
+        profiles = {p.name: p for p in build_paper_residences()}
+        heavy = min(profiles[n].daily_sessions for n in "ABC")
+        light = max(profiles[n].daily_sessions for n in "DE")
+        assert light < heavy / 3
+
+    def test_devices_have_distinct_addresses(self):
+        for profile in build_paper_residences():
+            devices = profile.build_devices()
+            v4s = [d.v4 for d in devices]
+            assert len(v4s) == len(set(v4s))
+            v6s = [d.v6 for d in devices if d.v6 is not None]
+            assert len(v6s) == len(set(v6s))
+
+    def test_diets_reference_known_services(self):
+        from repro.traffic.apps import catalog_by_name
+
+        known = set(catalog_by_name())
+        for profile in build_paper_residences():
+            unknown = set(profile.service_weights) - known
+            assert not unknown, f"{profile.name}: {unknown}"

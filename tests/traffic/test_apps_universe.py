@@ -1,0 +1,143 @@
+"""Tests for service profiles and the service universe."""
+
+import pytest
+
+from repro.net.asn import AsCategory
+from repro.traffic.apps import (
+    SHAPES,
+    ApplicationKind,
+    ServiceProfile,
+    TrafficShape,
+    build_service_catalog,
+    catalog_by_name,
+)
+from repro.traffic.universe import ServiceUniverse
+from repro.util.rng import RngStream
+
+
+class TestTrafficShape:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficShape(flows_per_session=0, median_flow_bytes=100)
+        with pytest.raises(ValueError):
+            TrafficShape(flows_per_session=1, median_flow_bytes=0)
+        with pytest.raises(ValueError):
+            TrafficShape(flows_per_session=1, median_flow_bytes=10, heavy_flow_prob=2)
+        with pytest.raises(ValueError):
+            TrafficShape(flows_per_session=1, median_flow_bytes=10, udp_fraction=-1)
+
+    def test_draw_plain(self):
+        shape = TrafficShape(flows_per_session=5, median_flow_bytes=10_000)
+        rng = RngStream(1)
+        draws = [shape.draw_flow_bytes(rng) for _ in range(100)]
+        assert all(d >= 1 for d in draws)
+
+    def test_heavy_tail_raises_mean(self):
+        rng1, rng2 = RngStream(2), RngStream(2)
+        light = TrafficShape(flows_per_session=1, median_flow_bytes=10_000)
+        heavy = TrafficShape(
+            flows_per_session=1, median_flow_bytes=10_000,
+            heavy_flow_bytes=10_000_000, heavy_flow_prob=0.5,
+        )
+        light_mean = sum(light.draw_flow_bytes(rng1) for _ in range(300)) / 300
+        heavy_mean = sum(heavy.draw_flow_bytes(rng2) for _ in range(300)) / 300
+        assert heavy_mean > light_mean * 10
+
+    def test_all_kinds_have_shapes(self):
+        assert set(SHAPES) == set(ApplicationKind)
+
+
+class TestServiceProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(
+                "X", 1, "X", "x.com", AsCategory.OTHER, ApplicationKind.WEB, 1.5
+            )
+        with pytest.raises(ValueError):
+            ServiceProfile(
+                "X", 0, "X", "x.com", AsCategory.OTHER, ApplicationKind.WEB, 0.5
+            )
+        with pytest.raises(ValueError):
+            ServiceProfile(
+                "X", 1, "X", "x.com", AsCategory.OTHER, ApplicationKind.WEB, 0.5,
+                num_servers=0,
+            )
+
+
+class TestCatalog:
+    def test_catalog_nonempty_and_unique(self):
+        catalog = build_service_catalog()
+        assert len(catalog) >= 35
+        names = [s.name for s in catalog]
+        assert len(names) == len(set(names))
+
+    def test_paper_laggards_are_ipv4_only(self):
+        by_name = catalog_by_name()
+        for laggard in ("Zoom", "Twitch", "GitHub", "USC Campus", "WordPress"):
+            assert by_name[laggard].ipv6_support == 0.0, laggard
+
+    def test_web_social_lead_isps_lag(self):
+        """Figure 4's headline: Web/Social medians > 0.9, ISPs <= 0.2."""
+        catalog = build_service_catalog()
+        web = [s for s in catalog if s.category is AsCategory.WEB_SOCIAL and s.name != "TikTok"]
+        isps = [s for s in catalog if s.category is AsCategory.ISP]
+        assert all(s.ipv6_support >= 0.9 for s in web)
+        assert all(s.ipv6_support <= 0.2 for s in isps)
+
+    def test_every_category_represented(self):
+        categories = {s.category for s in build_service_catalog()}
+        assert categories == set(AsCategory)
+
+    def test_background_services_exist(self):
+        catalog = build_service_catalog()
+        assert any(not s.human_driven for s in catalog)
+
+
+class TestServiceUniverse:
+    def test_build(self):
+        universe = ServiceUniverse(build_service_catalog())
+        assert len(universe) >= 35
+        assert len(universe.registry) >= 35
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceUniverse([])
+
+    def test_servers_routable_to_right_asn(self):
+        universe = ServiceUniverse(build_service_catalog())
+        for service in universe.catalog:
+            for server in universe.servers_of(service):
+                assert universe.routing.origin_of(server.v4) == service.asn
+                if server.v6 is not None:
+                    assert universe.routing.origin_of(server.v6) == service.asn
+
+    def test_dual_stack_share_matches_support(self):
+        universe = ServiceUniverse(build_service_catalog())
+        for service in universe.catalog:
+            servers = universe.servers_of(service)
+            dual = sum(1 for s in servers if s.dual_stack)
+            assert dual == round(service.ipv6_support * service.num_servers)
+
+    def test_ipv4_only_service_has_no_aaaa_servers(self):
+        universe = ServiceUniverse(build_service_catalog())
+        zoom = catalog_by_name(universe.catalog)["Zoom"]
+        assert all(not s.dual_stack for s in universe.servers_of(zoom))
+
+    def test_rdns_registered(self):
+        universe = ServiceUniverse(build_service_catalog())
+        service = universe.catalog[0]
+        server = universe.servers_of(service)[0]
+        hostname = universe.rdns.lookup(server.v4)
+        assert hostname is not None
+        assert hostname.endswith(service.domain)
+
+    def test_addresses_unique_across_services(self):
+        universe = ServiceUniverse(build_service_catalog())
+        seen = set()
+        for service in universe.catalog:
+            for server in universe.servers_of(service):
+                assert server.v4 not in seen
+                seen.add(server.v4)
+                if server.v6 is not None:
+                    assert server.v6 not in seen
+                    seen.add(server.v6)

@@ -1,0 +1,63 @@
+"""Tests for text table and series rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_count_pct, render_series
+
+
+class TestFormatCountPct:
+    def test_basic(self):
+        assert format_count_pct(576, 1000) == "576 (57.6%)"
+
+    def test_zero_total(self):
+        assert format_count_pct(5, 0) == "5 (-)"
+
+    def test_full(self):
+        assert format_count_pct(10, 10) == "10 (100.0%)"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["a-much-longer-name", 2.5])
+        output = table.render()
+        lines = output.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "a-much-longer-name" in output
+        assert "2.500" in output  # floats rendered with 3 decimals
+
+    def test_title(self):
+        table = TextTable(["x"], title="Table 1")
+        table.add_row([1])
+        assert table.render().startswith("Table 1\n")
+
+    def test_row_width_mismatch(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+
+class TestRenderSeries:
+    def test_short_series_verbatim(self):
+        text = render_series("cdf", [0.0, 0.5, 1.0], [0.1, 0.6, 1.0])
+        assert "[n=3]" in text
+        assert "(0, 0.1)" in text
+        assert "(1, 1)" in text
+
+    def test_long_series_subsampled(self):
+        xs = list(range(100))
+        ys = [x / 100 for x in xs]
+        text = render_series("s", xs, ys, max_points=8)
+        assert "[n=100]" in text
+        assert text.count("(") <= 8
+        assert "(0, 0)" in text
+        assert "(99, 0.99)" in text  # endpoints always kept
+
+    def test_empty(self):
+        assert "empty" in render_series("s", [], [])
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1.0], [])
