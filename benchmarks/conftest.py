@@ -1,15 +1,16 @@
 """Shared fixtures for the benchmark harness.
 
 Every table and figure of the paper has one bench module.  The expensive
-universes (the five-residence traffic study and the web census) are built
-once per session and shared; each bench times only its *analysis* and
-emits the paper-style rows/series both to stdout and to
+universes (the five-residence traffic study and the web census) come from
+one bench-scale :class:`repro.api.Study` session, so they are built once
+per process and shared; each bench times only its *analysis* and emits
+the paper-style rows/series both to stdout and to
 ``benchmarks/results/<name>.txt`` so the regenerated "figures" survive
 output capture.
 
 Scale note: the paper measures 273 days of traffic and crawls 100k sites;
 the bench scale (154 days, 4000 sites) reproduces every qualitative shape
-in minutes.  Pass the paper scale through ``repro.datasets`` when time
+in minutes.  Pass the paper scale through ``StudyConfig`` when time
 permits.
 """
 
@@ -19,10 +20,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.cloudstats import attribute_domains
-from repro.datasets.scenarios import census_scenario, residence_scenario
+from repro.api import Study, StudyConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One session at the bench scale; every bench shares its builds.
+SESSION = Study(StudyConfig())
 
 
 def emit(name: str, text: str) -> None:
@@ -35,20 +38,19 @@ def emit(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def residence_study():
     """154 days of traffic at residences A-E (covers spring break)."""
-    return residence_scenario()
+    return SESSION.traffic
 
 
 @pytest.fixture(scope="session")
 def census():
     """The 4000-site census with five link clicks per site."""
-    return census_scenario()
+    return SESSION.census
 
 
 @pytest.fixture(scope="session")
 def census_views(census):
     """Per-FQDN cloud attribution of the census."""
-    eco = census.ecosystem
-    return attribute_domains(census.dataset, eco.routing, eco.registry)
+    return SESSION.cloud
 
 
 @pytest.fixture()

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Cloud study: does ease of enabling IPv6 drive tenant adoption?
 
-Reproduces the section 5 pipeline: attribute every crawled FQDN to its
-cloud organization via BGP origin + AS-to-Org, break adoption down per
-provider and per service, and compare providers head-to-head on shared
-multi-cloud tenants with Wilcoxon signed-rank tests.
+Reproduces the section 5 pipeline through the artifact registry:
+attribute every crawled FQDN to its cloud organization via BGP origin +
+AS-to-Org (done once by the :class:`repro.api.Study` session), break
+adoption down per provider and per service, and compare providers
+head-to-head on shared multi-cloud tenants with Wilcoxon signed-rank
+tests.
 
 Usage::
 
@@ -13,76 +15,32 @@ Usage::
 
 import sys
 
-from repro.core import (
-    attribute_domains,
-    cloud_pair_heatmap,
-    cloud_provider_breakdown,
-    multicloud_tenants,
-    overall_domain_counts,
-    rank_clouds_by_wins,
-    service_adoption_table,
-)
-from repro.datasets import build_census
-from repro.util.tables import TextTable
+from repro.api import Study
 
 
 def main(num_sites: int = 2000) -> None:
     print(f"Crawling a {num_sites}-site universe and attributing FQDNs ...")
-    census = build_census(num_sites=num_sites, seed=23)
-    eco = census.ecosystem
-    views = attribute_domains(census.dataset, eco.routing, eco.registry)
+    study = Study(sites=num_sites, seed=23)
 
-    total, ipv4_only, full, v6_only = overall_domain_counts(views)
-    print(f"\n{total} domains observed: {ipv4_only} IPv4-only, "
-          f"{full} IPv6-full, {v6_only} IPv6-only")
-
-    # -- Figure 11 / Table 3 ---------------------------------------------------
-    table = TextTable(
-        ["organization", "domains", "IPv4-only", "IPv6-full", "IPv6-only"],
-        title="Per-provider tenant IPv6 adoption (Figure 11 / Table 3 analogue)",
-    )
-    for stats in cloud_provider_breakdown(views)[:15]:
-        table.add_row([
-            stats.org.name, stats.total,
-            f"{stats.share(stats.ipv4_only):.1%}",
-            f"{stats.share(stats.ipv6_full):.1%}",
-            f"{stats.share(stats.ipv6_only):.1%}",
-        ])
-    print(table.render())
+    # -- Figure 11 / Table 3 -----------------------------------------------
+    print(study.artifact("table3").to_text())
     print("Note the split-brand artifacts: bunny.net domains appear IPv6-only")
     print("under Bunnyway (their A records sit on Datacamp), and legacy Akamai")
     print("domains appear IPv4-only under Akamai Technologies.")
 
     # -- Table 2 -----------------------------------------------------------
-    service_table = TextTable(
-        ["provider", "service", "policy", "IPv6-ready", "total", "%"],
-        title="Per-service adoption vs. enablement policy (Table 2 analogue)",
-    )
-    for row in service_adoption_table(views, eco.service_of_cname, min_domains=10):
-        service_table.add_row([
-            row.provider.name, row.service.name, row.service.policy.value,
-            row.ipv6_ready, row.total, f"{row.share:.1%}",
-        ])
-    print("\n" + service_table.render())
+    print("\n" + study.artifact("table2").to_text())
     print("Default-on policies reach half to all tenants; opt-in stays in the")
     print("teens; opt-in-by-code-change (S3-style) is near zero.")
 
-    # -- Figure 12 -----------------------------------------------------------
-    tenants = multicloud_tenants(views)
-    comparisons = cloud_pair_heatmap(tenants)
-    significant = [c for c in comparisons if c.significant]
-    print(f"\nMulti-cloud tenants: {len(tenants)}; "
-          f"comparable pairs: {sum(1 for c in comparisons if c.comparable)}; "
-          f"significant after Holm-Bonferroni: {len(significant)}")
+    # -- Figure 12 ---------------------------------------------------------
+    fig12 = study.artifact("fig12", top=10)
+    meta = fig12.metadata
+    print(f"\nMulti-cloud tenants: {meta['multicloud_tenants']}; "
+          f"comparable pairs: {meta['comparable_pairs']}; "
+          f"significant after Holm-Bonferroni: {meta['significant_pairs']}")
     print("Strongest head-to-head differences (Figure 12 analogue):")
-    for cell in sorted(significant, key=lambda c: -abs(c.effect_size))[:10]:
-        winner, loser = (
-            (cell.org_a, cell.org_b) if cell.effect_size > 0 else (cell.org_b, cell.org_a)
-        )
-        print(f"  {winner} > {loser}  (r={abs(cell.effect_size):.2f}, "
-              f"shared tenants={cell.n_shared})")
-    ranking = rank_clouds_by_wins(comparisons)
-    print("\nOverall ordering by wins:", " > ".join(ranking[:6]))
+    print(fig12.to_text())
 
 
 if __name__ == "__main__":

@@ -2,77 +2,35 @@
 """Quickstart: the non-binary IPv6 view in three snapshots.
 
 Runs a small version of each of the paper's three measurement
-perspectives -- clients, servers, clouds -- and prints the headline
-numbers.  Takes well under a minute.
+perspectives -- clients, servers, clouds -- through one lazy
+:class:`repro.api.Study` session and prints the headline artifacts.
+The census is built once and shared by the server and cloud views.
+Takes well under a minute.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro.core import (
-    census_breakdown,
-    cloud_provider_breakdown,
-    attribute_domains,
-    compute_residence_stats,
-)
-from repro.datasets import build_census, build_residence_study
-from repro.util.tables import TextTable, format_count_pct
-
-
-def client_view() -> None:
-    print("=== Clients: how much of a household's traffic is IPv6? ===")
-    study = build_residence_study(num_days=21, seed=7, residences=("A", "C"))
-    table = TextTable(["residence", "GB", "IPv6 bytes", "IPv6 flows", "daily s.d."])
-    for name, dataset in sorted(study.datasets.items()):
-        stats = compute_residence_stats(dataset).external
-        table.add_row([
-            name,
-            f"{stats.total_gb:.1f}",
-            f"{stats.byte_fraction_overall:.1%}",
-            f"{stats.flow_fraction_overall:.1%}",
-            f"{stats.byte_fraction_daily_std:.2f}",
-        ])
-    print(table.render())
-    print("Same dual-stack access, very different IPv6 use: the fraction")
-    print("depends on the services each household talks to.\n")
-
-
-def server_view() -> "object":
-    print("=== Servers: how complete is website IPv6 support? ===")
-    census = build_census(num_sites=800, seed=7)
-    breakdown = census_breakdown(census.dataset)
-    conn = breakdown.connection_success
-    print(f"sites crawled:      {breakdown.total}")
-    print(f"loading failures:   {breakdown.nxdomain + breakdown.other_failure}")
-    print(f"IPv4-only:          {format_count_pct(breakdown.ipv4_only, conn)}")
-    print(f"IPv6-partial:       {format_count_pct(breakdown.ipv6_partial, conn)}")
-    print(f"IPv6-full:          {format_count_pct(breakdown.ipv6_full, conn)}")
-    print("Most AAAA-enabled sites still depend on IPv4-only resources.\n")
-    return census
-
-
-def cloud_view(census) -> None:
-    print("=== Clouds: which providers' tenants actually use IPv6? ===")
-    eco = census.ecosystem
-    views = attribute_domains(census.dataset, eco.routing, eco.registry)
-    table = TextTable(["provider", "domains", "IPv6-full", "IPv6-only"])
-    for stats in cloud_provider_breakdown(views)[:8]:
-        table.add_row([
-            stats.org.name,
-            stats.total,
-            f"{stats.share(stats.ipv6_full):.1%}",
-            f"{stats.share(stats.ipv6_only):.1%}",
-        ])
-    print(table.render())
-    print("All clouds support IPv6; tenant uptake varies with how easy")
-    print("each provider makes enabling it.")
+from repro.api import Study
 
 
 def main() -> None:
-    client_view()
-    census = server_view()
-    cloud_view(census)
+    study = Study(days=21, sites=800, seed=7, residences=("A", "C"))
+
+    print("=== Clients: how much of a household's traffic is IPv6? ===")
+    print(study.artifact("table1").to_text())
+    print("Same dual-stack access, very different IPv6 use: the fraction")
+    print("depends on the services each household talks to.\n")
+
+    print("=== Servers: how complete is website IPv6 support? ===")
+    print(study.artifact("fig5").to_text())
+    print("Most AAAA-enabled sites still depend on IPv4-only resources.\n")
+
+    print("=== Clouds: which providers' tenants actually use IPv6? ===")
+    print(study.artifact("table3", top=8).to_text())
+    print("All clouds support IPv6; tenant uptake varies with how easy")
+    print("each provider makes enabling it.")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Client-side study: is household IPv6 traffic human-driven?
 
-Reproduces the section 3 pipeline on a shorter window: generate
-dual-stack residential traffic, compute Table-1-style statistics, run the
-MSTL decomposition that shows the diurnal (human) structure of the IPv6
-fraction, and rank the services that lead and lag.
+Reproduces the section 3 pipeline on a shorter window through the
+artifact registry: Table-1-style statistics, the MSTL decomposition that
+shows the diurnal (human) structure of the IPv6 fraction, and the
+services that lead and lag.  The traffic study is generated once by the
+:class:`repro.api.Study` session and shared by all four artifacts.
 
 Usage::
 
@@ -13,76 +14,31 @@ Usage::
 
 import sys
 
-import numpy as np
-
-from repro.core import (
-    as_traffic_breakdown,
-    compute_residence_stats,
-    hourly_fraction_series,
-    mstl,
-    shared_as_box_stats,
-)
-from repro.datasets import build_residence_study
-from repro.util.tables import TextTable, render_series
+from repro.api import Study
 
 
 def main(num_days: int = 42) -> None:
     print(f"Generating {num_days} days of traffic for residences A-E ...")
-    study = build_residence_study(num_days=num_days, seed=11)
+    study = Study(days=num_days, seed=11)
 
     # -- Table 1 -----------------------------------------------------------
-    table = TextTable(
-        ["res", "scope", "GB", "IPv6 bytes", "daily mean (s.d.)", "flows", "IPv6 flows"],
-        title="Per-residence IPv6 traffic (Table 1 analogue)",
-    )
-    for name in sorted(study.datasets):
-        stats = compute_residence_stats(study.dataset(name))
-        for scope_stats in (stats.external, stats.internal):
-            table.add_row([
-                name,
-                scope_stats.scope.value,
-                f"{scope_stats.total_gb:.2f}",
-                f"{scope_stats.byte_fraction_overall:.3f}",
-                f"{scope_stats.byte_fraction_daily_mean:.3f} ({scope_stats.byte_fraction_daily_std:.3f})",
-                scope_stats.total_flows,
-                f"{scope_stats.flow_fraction_overall:.3f}",
-            ])
-    print(table.render())
+    print(study.artifact("table1").to_text())
 
-    # -- MSTL (Figure 2) -----------------------------------------------------
-    print("\nMSTL decomposition of residence A's hourly IPv6 byte fraction:")
-    series = hourly_fraction_series(study.dataset("A"), num_days=num_days)
-    periods = [24, 168] if num_days >= 21 else [24]
-    result = mstl(series, periods)
-    hours = np.arange(series.size, dtype=float)
-    print(render_series("observed ", hours, result.observed))
-    print(render_series("trend    ", hours, result.trend))
-    print(render_series("daily    ", hours, result.seasonal(24)))
-    if 168 in result.seasonals:
-        print(render_series("weekly   ", hours, result.seasonal(168)))
-    print(render_series("residual ", hours, result.residual))
-    daily = result.seasonal(24).reshape(-1, 24).mean(axis=0)
-    peak_hour = int(daily.argmax())
-    trough_hour = int(daily.argmin())
-    print(f"daily component peaks at hour {peak_hour:02d}:00, "
-          f"trough at {trough_hour:02d}:00 -> IPv6 traffic is human-driven")
+    # -- MSTL (Figure 2) ---------------------------------------------------
+    fig2 = study.artifact("fig2")
+    print("\n" + fig2.to_text())
+    meta = fig2.metadata
+    if "daily_peak_hour" in meta:
+        print(f"daily component peaks at hour {meta['daily_peak_hour']:02d}:00, "
+              f"trough at {meta['daily_trough_hour']:02d}:00 "
+              f"-> IPv6 traffic is human-driven")
 
-    # -- Services that lead and lag (Figures 3/4) ----------------------------
-    print("\nServices by IPv6 byte fraction at residence A:")
-    leaders = as_traffic_breakdown(study.dataset("A"))
-    ranked = sorted(leaders, key=lambda e: -e.fraction_v6)
-    for entry in ranked[:5]:
-        print(f"  lead: {entry.info.name:22s} AS{entry.info.asn:<7d} {entry.fraction_v6:.1%}")
-    for entry in ranked[-5:]:
-        print(f"  lag:  {entry.info.name:22s} AS{entry.info.asn:<7d} {entry.fraction_v6:.1%}")
+    # -- Services that lead and lag (Figures 3/4) --------------------------
+    print("\nServices by IPv6 byte fraction at residence A (Figure 3):")
+    print(study.artifact("fig3", residence="A", top=5).to_text())
 
-    print("\nCross-residence view (ASes seen at 3+ residences, by category):")
-    grouped = shared_as_box_stats(study.datasets, min_residences=3)
-    for category, entries in grouped.items():
-        medians = ", ".join(
-            f"{info.name}={stats.median:.2f}" for info, stats in entries[:4]
-        )
-        print(f"  {category.value}: {medians}")
+    print("\nCross-residence view (Figure 4, ASes seen at 3+ residences):")
+    print(study.artifact("fig4").to_text())
 
 
 if __name__ == "__main__":

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Server-side census: how IPv6-ready are the top websites?
 
-Reproduces the section 4 pipeline: crawl a ranked site universe with
-full-depth resource resolution and five same-site link clicks, classify
-sites into IPv4-only / IPv6-partial / IPv6-full, and analyse which
-IPv4-only resources hold the partial sites back.
+Reproduces the section 4 pipeline through the artifact registry: crawl a
+ranked site universe (built once by the :class:`repro.api.Study`
+session), classify sites into IPv4-only / IPv6-partial / IPv6-full, and
+analyse which IPv4-only resources hold the partial sites back.
 
 Usage::
 
@@ -13,86 +13,29 @@ Usage::
 
 import sys
 
-import numpy as np
-
-from repro.core import (
-    analyze_dependencies,
-    census_breakdown,
-    estimate_version_split_misclassification,
-    heavy_hitter_categories,
-    top_n_breakdown,
-    whatif_adoption_curve,
-)
-from repro.datasets import build_census
-from repro.util.tables import TextTable, format_count_pct
+from repro.api import Study
 
 
 def main(num_sites: int = 1500) -> None:
     print(f"Crawling a {num_sites}-site universe (5 link clicks per site) ...")
-    census = build_census(num_sites=num_sites, seed=17)
-    dataset = census.dataset
+    study = Study(sites=num_sites, seed=17)
 
-    # -- Figure 5 ------------------------------------------------------------
-    b = census_breakdown(dataset)
-    conn = b.connection_success
-    table = TextTable(["category", "count (share of connected)"],
-                      title="Site classification (Figure 5 analogue)")
-    table.add_row(["total", b.total])
-    table.add_row(["loading-failure (NXDOMAIN)", b.nxdomain])
-    table.add_row(["loading-failure (other)", b.other_failure])
-    table.add_row(["connection success", conn])
-    table.add_row(["  IPv4-only", format_count_pct(b.ipv4_only, conn)])
-    table.add_row(["  IPv6-partial", format_count_pct(b.ipv6_partial, conn)])
-    table.add_row(["  IPv6-full", format_count_pct(b.ipv6_full, conn)])
-    table.add_row(["    browser used IPv4", format_count_pct(b.browser_used_ipv4, conn)])
-    table.add_row(["    browser used IPv6 only", format_count_pct(b.browser_used_ipv6_only, conn)])
-    print(table.render())
+    # -- Figures 5 and 6 ---------------------------------------------------
+    print(study.artifact("fig5").to_text())
+    print("\n" + study.artifact("fig6").to_text())
 
-    # -- Figure 6 ------------------------------------------------------------
-    print("\nReadiness by popularity (Figure 6 analogue):")
-    for row in top_n_breakdown(dataset, ns=(100, num_sites // 4, num_sites)):
-        print(f"  top-{row.n:<6d} IPv4-only {row.ipv4_only_share:.1%}  "
-              f"partial {row.ipv6_partial_share:.1%}  full {row.ipv6_full_share:.1%}")
+    # -- Figures 7-10 ------------------------------------------------------
+    print("\n" + study.artifact("deps").to_text())
 
-    # -- Figures 7-10 ----------------------------------------------------------
-    analysis = analyze_dependencies(dataset)
-    counts = np.array(analysis.v4only_resource_counts)
-    fractions = np.array(analysis.v4only_resource_fractions)
-    print(f"\nIPv6-partial sites: {analysis.num_partial}")
-    print(f"  IPv4-only resources per site: p25={np.percentile(counts, 25):.0f} "
-          f"p50={np.percentile(counts, 50):.0f} p75={np.percentile(counts, 75):.0f}")
-    print(f"  fraction IPv4-only:           p25={np.percentile(fractions, 25):.2f} "
-          f"p50={np.percentile(fractions, 50):.2f} p75={np.percentile(fractions, 75):.2f}")
-    spans = np.array([i.span for i in analysis.domain_impacts.values()])
-    print(f"  IPv4-only domains: {len(spans)}; span p50={np.percentile(spans, 50):.0f} "
-          f"p75={np.percentile(spans, 75):.0f} p95={np.percentile(spans, 95):.0f} max={spans.max()}")
-    print(f"  partial due to first-party only: {len(analysis.first_party_only_sites)} "
-          f"({len(analysis.first_party_only_sites) / analysis.num_partial:.1%})")
+    print("\nHeavy-hitter IPv4-only domains by category (Figure 9):")
+    print(study.artifact("fig9").to_text())
 
-    pool = census.ecosystem.pool
-    hh_span = max(3, num_sites // 250)
-    categories = heavy_hitter_categories(
-        analysis,
-        lambda domain: pool.get(domain).category if domain in pool else None,
-        min_span=hh_span,
-    )
-    print(f"\nHeavy-hitter IPv4-only domains (span >= {hh_span}), by category:")
-    for category, count in categories.most_common():
-        print(f"  {category.value if category else '(uncategorized)':26s} {count}")
-
-    curve = whatif_adoption_curve(analysis)
-    marks = [0.033, 0.10, 0.50, 1.0]
     print("\nWhat if IPv4-only domains adopted IPv6 in span order (Figure 10)?")
-    for mark in marks:
-        k = max(1, round(mark * len(curve)))
-        adopted, full = curve[k - 1]
-        print(f"  top {mark:.1%} of domains ({adopted}): "
-              f"{full}/{analysis.num_partial} partial sites become full "
-              f"({full / analysis.num_partial:.1%})")
+    print(study.artifact("fig10").to_text())
 
-    suspected, total = estimate_version_split_misclassification(dataset)
-    print(f"\nPotential version-split misclassifications: {suspected}/{total} "
-          f"({suspected / total:.1%} of partial sites)")
+    # -- Section 4.4 -------------------------------------------------------
+    print("\nPotential version-split misclassifications (section 4.4):")
+    print(study.artifact("misclass").to_text())
 
 
 if __name__ == "__main__":

@@ -10,16 +10,25 @@ analyses (Table 1 household statistics, MSTL decomposition, graded website
 readiness, dependency span/contribution, cloud/service adoption and the
 multi-cloud Wilcoxon comparison).
 
-Quick start::
+The supported entry point is :class:`repro.api.Study` -- a lazy, memoized
+session over the three measurement perspectives -- plus the artifact
+registry behind ``python -m repro``::
 
-    from repro.datasets import build_residence_study, build_census
-    from repro.core import compute_residence_stats, census_breakdown
+    from repro.api import Study
 
-    study = build_residence_study(num_days=28)
-    print(compute_residence_stats(study.dataset("A")))
+    study = Study(days=28, sites=1500)
+    print(study.artifact("table1").to_text())   # or .to_json()
+    print(study.artifact("fig5").to_text())
 
-    census = build_census(num_sites=1000)
-    print(census_breakdown(census.dataset))
+    python -m repro list                        # every registered artifact
+    python -m repro all --days 14 --sites 800 --format json
+
+Importing analysis functions straight from :mod:`repro.core` (for example
+``from repro.core import compute_residence_stats``) still works and is the
+right layer for new *analyses*, but callers composing artifacts should go
+through :class:`repro.api.Study`: direct ``core`` wiring bypasses the
+session's build memoization and the registry's text/JSON rendering, and
+the ad-hoc build-then-render pattern it encouraged is deprecated.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,30 +1,63 @@
 """Command-line reproduction driver: ``python -m repro <artifact>``.
 
-Regenerates the paper's headline artifacts at a chosen scale::
+Regenerates the paper's artifacts at a chosen scale, through the lazy
+:class:`repro.api.Study` session (shared builds) and the artifact
+registry (every figure and table, text or JSON)::
 
+    python -m repro list
     python -m repro table1 --days 60
-    python -m repro fig5 --sites 2000
-    python -m repro table2 table3 --sites 4000
+    python -m repro table2 table3 --sites 4000          # census built once
     python -m repro all --days 60 --sites 2000
+    python -m repro fig5 --format json
+    python -m repro fig13@days=160 table1 --days 28     # per-artifact scale
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
-from repro.core import report
-from repro.datasets import build_census, build_residence_study
+from repro.api import Study, StudyConfig, jsonify, registry
 
-#: Artifact name -> (needs_traffic, needs_census, renderer).
-ARTIFACTS = {
-    "table1": (True, False, lambda study, census: report.render_table1(study)),
-    "fig5": (False, True, lambda study, census: report.render_fig5(census)),
-    "fig6": (False, True, lambda study, census: report.render_fig6(census)),
-    "deps": (False, True, lambda study, census: report.render_dependencies(census)),
-    "table2": (False, True, lambda study, census: report.render_table2(census)),
-    "table3": (False, True, lambda study, census: report.render_table3(census)),
-}
+#: Keywords accepted alongside registered artifact names.
+_META = ("all", "list")
+
+#: StudyConfig fields overridable per artifact via ``name@key=value,...``.
+_OVERRIDE_KEYS = ("days", "sites", "seed", "link_clicks")
+
+
+def parse_artifact_spec(value: str) -> tuple[str, dict[str, int]]:
+    """Split ``name@key=value,...`` into the name and its config overrides."""
+    name, _, override_text = value.partition("@")
+    overrides: dict[str, int] = {}
+    if override_text:
+        for item in override_text.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep or key not in _OVERRIDE_KEYS:
+                raise ValueError(
+                    f"bad override {item!r}; expected key=value with key in "
+                    f"{', '.join(_OVERRIDE_KEYS)}"
+                )
+            try:
+                overrides[key] = int(raw)
+            except ValueError:
+                raise ValueError(f"override {key!r} needs an integer, got {raw!r}")
+    return name, overrides
+
+
+def _artifact_argument(value: str) -> str:
+    """argparse type hook: reject unknown artifacts at parse time."""
+    try:
+        name, _ = parse_artifact_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    if name not in _META and name not in registry.names():
+        raise argparse.ArgumentTypeError(
+            f"unknown artifact {name!r} (try: python -m repro list)"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,38 +69,123 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artifacts",
         nargs="+",
-        choices=sorted(ARTIFACTS) + ["all"],
-        help="which artifacts to regenerate",
+        type=_artifact_argument,
+        metavar="artifact",
+        help="artifact names ('list' to enumerate, 'all' for everything); "
+        "append @key=value,... for per-artifact scale overrides",
     )
     parser.add_argument("--days", type=int, default=28,
                         help="traffic observation days (paper: 273)")
     parser.add_argument("--sites", type=int, default=1500,
                         help="census top-list size (paper: 100000)")
     parser.add_argument("--seed", type=int, default=42, help="scenario seed")
+    parser.add_argument("--link-clicks", type=int, default=5,
+                        help="same-site link clicks per crawled site")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
     return parser
 
 
+def _render_list(fmt: str) -> str:
+    specs = registry.specs()
+    if fmt == "json":
+        return json.dumps(
+            [
+                {
+                    "name": spec.name,
+                    "needs": sorted(spec.needs),
+                    "paper": spec.paper,
+                    "description": spec.description,
+                }
+                for spec in specs
+            ],
+            indent=2,
+        )
+    from repro.util.tables import TextTable
+
+    table = TextTable(
+        ["artifact", "needs", "paper", "description"],
+        title=f"{len(specs)} registered artifacts",
+    )
+    for spec in specs:
+        table.add_row([
+            spec.name,
+            ",".join(sorted(spec.needs)) or "-",
+            spec.paper,
+            spec.description,
+        ])
+    return table.render()
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    wanted = sorted(ARTIFACTS) if "all" in args.artifacts else list(dict.fromkeys(args.artifacts))
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    requested = list(dict.fromkeys(args.artifacts))
 
-    needs_traffic = any(ARTIFACTS[name][0] for name in wanted)
-    needs_census = any(ARTIFACTS[name][1] for name in wanted)
-    study = None
-    census = None
-    if needs_traffic:
-        print(f"# generating {args.days} days of residential traffic ...",
-              file=sys.stderr)
-        study = build_residence_study(num_days=args.days, seed=args.seed)
-    if needs_census:
-        print(f"# crawling a {args.sites}-site universe ...", file=sys.stderr)
-        census = build_census(num_sites=args.sites, seed=args.seed)
+    if any(parse_artifact_spec(item)[0] == "list" for item in requested):
+        if len(requested) > 1:
+            parser.error("'list' cannot be combined with artifact names")
+        print(_render_list(args.format))
+        return 0
 
-    for index, name in enumerate(wanted):
-        if index:
-            print("\n" + "=" * 72 + "\n")
-        _, _, renderer = ARTIFACTS[name]
-        print(renderer(study, census))
+    try:
+        base = StudyConfig(
+            days=args.days,
+            sites=args.sites,
+            seed=args.seed,
+            link_clicks=args.link_clicks,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    # Expand "all" in place, keeping explicit (possibly overridden) entries.
+    expanded: list[str] = []
+    for item in requested:
+        name, overrides = parse_artifact_spec(item)
+        if name == "all":
+            suffix = item.partition("@")[2]
+            expanded.extend(
+                f"{artifact_name}@{suffix}" if suffix else artifact_name
+                for artifact_name in registry.names()
+            )
+        else:
+            expanded.append(item)
+    expanded = list(dict.fromkeys(expanded))
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    studies: dict[StudyConfig, Study] = {}
+    results: list[tuple[str, StudyConfig, object]] = []
+    for item in expanded:
+        name, overrides = parse_artifact_spec(item)
+        try:
+            config = base.replace(**overrides) if overrides else base
+        except ValueError as exc:
+            parser.error(f"{item}: {exc}")
+        study = studies.setdefault(config, Study(config, log=log))
+        results.append((item, config, study.artifact(name)))
+
+    if args.format == "json":
+        # Keyed by the requested spec (unique after dedup), each entry
+        # carrying the config it was actually computed at, so per-artifact
+        # overrides stay attributable.
+        document = {
+            "config": jsonify(dataclasses.asdict(base)),
+            "artifacts": {
+                item: {
+                    "config": jsonify(dataclasses.asdict(config)),
+                    **result.to_dict(),
+                }
+                for item, config, result in results
+            },
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for index, (_, _, result) in enumerate(results):
+            if index:
+                print("\n" + "=" * 72 + "\n")
+            print(result.to_text())
     return 0
 
 

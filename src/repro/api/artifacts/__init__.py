@@ -1,0 +1,12 @@
+"""Registered renderers for every figure and table of the paper.
+
+Importing this package registers all artifacts with
+:mod:`repro.api.registry`; the modules are grouped by the session layer
+they read:
+
+* :mod:`repro.api.artifacts.traffic` -- section 3, the client-side view.
+* :mod:`repro.api.artifacts.census` -- section 4, website readiness.
+* :mod:`repro.api.artifacts.cloud` -- section 5, cloud adoption.
+"""
+
+from repro.api.artifacts import census, cloud, traffic  # noqa: F401

@@ -1,0 +1,170 @@
+"""Cloud artifacts (paper section 5): provider and service adoption.
+
+These read ``study.cloud`` -- the per-FQDN attribution of the census to
+cloud organizations -- which the session derives from the census once
+and shares.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import ArtifactResult, artifact
+from repro.api.session import Study
+from repro.core.cloudstats import (
+    cloud_pair_heatmap,
+    cloud_provider_breakdown,
+    multicloud_tenants,
+    overall_domain_counts,
+    rank_clouds_by_wins,
+    service_adoption_table,
+)
+from repro.util.tables import TextTable, format_count_pct
+
+
+@artifact(
+    "table3",
+    needs=("census", "cloud"),
+    title="Table 3 — domains per cloud organization",
+    paper="Table 3 / Figure 11",
+)
+def table3(study: Study, top: int = 15) -> ArtifactResult:
+    """Domain counts and adoption classes per cloud organization."""
+    views = study.cloud
+    total, ipv4_only, full, v6_only = overall_domain_counts(views)
+    table = TextTable(
+        ["organization", "# domains", "IPv4-only", "IPv6-full", "IPv6-only"],
+        title="Table 3 — domains per cloud organization",
+    )
+    table.add_row(["Overall", total, format_count_pct(ipv4_only, total),
+                   format_count_pct(full, total), format_count_pct(v6_only, total)])
+    rows = [{
+        "organization": "Overall",
+        "domains": total,
+        "ipv4_only": ipv4_only,
+        "ipv6_full": full,
+        "ipv6_only": v6_only,
+    }]
+    for s in cloud_provider_breakdown(views)[:top]:
+        table.add_row([
+            s.org.name, s.total,
+            format_count_pct(s.ipv4_only, s.total),
+            format_count_pct(s.ipv6_full, s.total),
+            format_count_pct(s.ipv6_only, s.total),
+        ])
+        rows.append({
+            "organization": s.org.name,
+            "domains": s.total,
+            "ipv4_only": s.ipv4_only,
+            "ipv6_full": s.ipv6_full,
+            "ipv6_only": s.ipv6_only,
+        })
+    return ArtifactResult(
+        columns=("organization", "domains", "ipv4_only", "ipv6_full", "ipv6_only"),
+        rows=rows,
+        text=table.render(),
+    )
+
+
+@artifact(
+    "fig11",
+    needs=("census", "cloud"),
+    title="Figure 11 — tenant IPv6 adoption shares per cloud",
+    paper="Figure 11",
+)
+def fig11(study: Study, top: int = 15) -> ArtifactResult:
+    """The share view of Table 3: adoption fractions per provider."""
+    rows = [
+        {
+            "organization": s.org.name,
+            "domains": s.total,
+            "ipv4_only_share": s.share(s.ipv4_only),
+            "ipv6_full_share": s.share(s.ipv6_full),
+            "ipv6_only_share": s.share(s.ipv6_only),
+        }
+        for s in cloud_provider_breakdown(study.cloud)[:top]
+    ]
+    return ArtifactResult(
+        columns=(
+            "organization", "domains",
+            "ipv4_only_share", "ipv6_full_share", "ipv6_only_share",
+        ),
+        rows=rows,
+    )
+
+
+@artifact(
+    "table2",
+    needs=("census", "cloud"),
+    title="Table 2 — IPv6 adoption across cloud services",
+    paper="Table 2",
+)
+def table2(study: Study, min_domains: int = 10) -> ArtifactResult:
+    """Per-service adoption versus the service's enablement policy."""
+    service_rows = service_adoption_table(
+        study.cloud,
+        study.census.ecosystem.service_of_cname,
+        min_domains=min_domains,
+    )
+    table = TextTable(
+        ["provider", "service", "policy", "# ready", "# total", "%"],
+        title="Table 2 — IPv6 adoption across cloud services",
+    )
+    rows = []
+    for row in service_rows:
+        table.add_row([
+            row.provider.name, row.service.name, row.service.policy.value,
+            row.ipv6_ready, row.total, f"{row.share:.1%}",
+        ])
+        rows.append({
+            "provider": row.provider.name,
+            "service": row.service.name,
+            "policy": row.service.policy.value,
+            "ipv6_ready": row.ipv6_ready,
+            "total": row.total,
+            "share": row.share,
+        })
+    return ArtifactResult(
+        columns=("provider", "service", "policy", "ipv6_ready", "total", "share"),
+        rows=rows,
+        metadata={"min_domains": min_domains},
+        text=table.render(),
+    )
+
+
+@artifact(
+    "fig12",
+    needs=("census", "cloud"),
+    title="Figure 12 — pairwise Wilcoxon comparisons of clouds",
+    paper="Figure 12",
+)
+def fig12(study: Study, top: int = 20) -> ArtifactResult:
+    """Head-to-head cloud comparisons on shared multi-cloud tenants."""
+    tenants = multicloud_tenants(study.cloud)
+    comparisons = cloud_pair_heatmap(tenants)
+    comparable = [c for c in comparisons if c.comparable]
+    significant = [c for c in comparisons if c.significant]
+    ranking = rank_clouds_by_wins(comparisons)
+    rows = [
+        {
+            "org_a": cell.org_a,
+            "org_b": cell.org_b,
+            "effect_r": cell.effect_size,
+            "p_value": cell.p_value,
+            "n_shared": cell.n_shared,
+            "significant": cell.significant,
+        }
+        for cell in sorted(comparable, key=lambda c: -abs(c.effect_size))[:top]
+    ]
+    lines = []
+    if ranking:
+        lines.append("win ordering: " + " > ".join(ranking[:8]))
+    return ArtifactResult(
+        columns=("org_a", "org_b", "effect_r", "p_value", "n_shared", "significant"),
+        rows=rows,
+        lines=lines,
+        metadata={
+            "multicloud_tenants": len(tenants),
+            "comparable_pairs": len(comparable),
+            "significant_pairs": len(significant),
+            "ranking": ranking[:8],
+        },
+    )

@@ -1,0 +1,425 @@
+"""Client-side artifacts (paper section 3): residential traffic shares.
+
+Everything here reads ``study.traffic`` -- the five-residence study --
+which the session builds lazily, once, however many of these artifacts a
+run requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.registry import ArtifactResult, artifact
+from repro.core.client import (
+    as_traffic_breakdown,
+    compute_residence_stats,
+    daily_fractions,
+    domain_traffic_breakdown,
+    heavy_hitter_days,
+    hourly_fraction_series,
+    protocol_mix,
+    shared_as_box_stats,
+    shared_domain_box_stats,
+)
+from repro.core.mstl import mstl
+from repro.flowmon.monitor import FlowScope
+from repro.util.stats import empirical_cdf
+from repro.util.tables import TextTable, render_series
+
+from repro.api.session import Study
+
+#: The paper's MSTL window: March 2025, days 120-150 of the observation.
+MARCH_START_DAY = 120
+MARCH_DAYS = 31
+
+
+def sample_points(xs, ys, max_points: int = 48) -> list[list[float]]:
+    """Evenly subsample a series into JSON-sized ``[x, y]`` pairs."""
+    n = len(xs)
+    if n <= max_points:
+        idx = range(n)
+    else:
+        step = (n - 1) / (max_points - 1)
+        idx = sorted({round(i * step) for i in range(max_points)})
+    return [[float(xs[i]), float(ys[i])] for i in idx]
+
+
+@artifact(
+    "table1",
+    needs=("traffic",),
+    title="Table 1 — per-residence traffic and IPv6 fractions",
+    paper="Table 1",
+)
+def table1(study: Study) -> ArtifactResult:
+    """Per-residence traffic volumes and IPv6 byte/flow fractions."""
+    traffic = study.traffic
+    columns = (
+        "residence", "scope", "total_gb", "byte_fraction",
+        "byte_fraction_daily_mean", "byte_fraction_daily_std",
+        "flows", "flow_fraction",
+    )
+    rows = []
+    table = TextTable(
+        ["res", "scope", "GB", "frac v6 bytes", "daily mean (s.d.)",
+         "flows", "frac v6 flows"],
+        title=(
+            f"Table 1 — {traffic.num_days} days, residences "
+            f"{', '.join(sorted(traffic.datasets))}"
+        ),
+    )
+    for name in sorted(traffic.datasets):
+        stats = compute_residence_stats(traffic.dataset(name))
+        for scope in (stats.external, stats.internal):
+            rows.append({
+                "residence": name,
+                "scope": scope.scope.value,
+                "total_gb": round(scope.total_gb, 3),
+                "byte_fraction": scope.byte_fraction_overall,
+                "byte_fraction_daily_mean": scope.byte_fraction_daily_mean,
+                "byte_fraction_daily_std": scope.byte_fraction_daily_std,
+                "flows": scope.total_flows,
+                "flow_fraction": scope.flow_fraction_overall,
+            })
+            table.add_row([
+                name, scope.scope.value, f"{scope.total_gb:.2f}",
+                f"{scope.byte_fraction_overall:.3f}",
+                f"{scope.byte_fraction_daily_mean:.3f} ({scope.byte_fraction_daily_std:.3f})",
+                scope.total_flows,
+                f"{scope.flow_fraction_overall:.3f}",
+            ])
+    return ArtifactResult(
+        columns=columns,
+        rows=rows,
+        metadata={"num_days": traffic.num_days},
+        text=table.render(),
+    )
+
+
+def _daily_cdfs(study: Study, residences: tuple[str, ...], label: str) -> ArtifactResult:
+    traffic = study.traffic
+    rows, lines = [], [label]
+    for name in residences:
+        dataset = traffic.datasets.get(name)
+        if dataset is None:
+            continue
+        for scope in (FlowScope.EXTERNAL, FlowScope.INTERNAL):
+            for metric in ("bytes", "flows"):
+                values = daily_fractions(dataset, scope=scope, metric=metric)
+                if not values:
+                    continue
+                cdf = empirical_cdf(values)
+                rows.append({
+                    "residence": name,
+                    "scope": scope.value,
+                    "metric": metric,
+                    "days": len(values),
+                    "cdf": sample_points(cdf.points, cdf.fractions),
+                })
+                lines.append(
+                    render_series(f"{name}/{scope.value}/{metric}",
+                                  cdf.points, cdf.fractions)
+                )
+    present = [r for r in residences if r in traffic.datasets]
+    return ArtifactResult(rows=rows, lines=lines, metadata={"residences": present})
+
+
+@artifact(
+    "fig1",
+    needs=("traffic",),
+    title="Figure 1 — per-day IPv6 fraction CDFs, residences A-C",
+    paper="Figure 1",
+)
+def fig1(study: Study) -> ArtifactResult:
+    """CDFs of per-day IPv6 byte/flow fractions at residences A-C."""
+    return _daily_cdfs(
+        study, ("A", "B", "C"),
+        "Figure 1: fraction of per-day IPv6 bytes/flows (CDFs)",
+    )
+
+
+@artifact(
+    "fig16",
+    needs=("traffic",),
+    title="Figure 16 — per-day IPv6 fraction CDFs, residences D-E",
+    paper="Figure 16",
+)
+def fig16(study: Study) -> ArtifactResult:
+    """CDFs of per-day IPv6 fractions at the appendix residences D-E."""
+    return _daily_cdfs(
+        study, ("D", "E"),
+        "Figure 16: fraction of per-day IPv6 bytes/flows, residences D-E",
+    )
+
+
+def _mstl_decomposition(study: Study, residence: str, metric: str) -> ArtifactResult:
+    traffic = study.traffic
+    dataset = traffic.datasets.get(residence)
+    if dataset is None:
+        return ArtifactResult(
+            lines=[f"residence {residence} is not part of this study"],
+            metadata={"residence": residence, "metric": metric},
+        )
+    if traffic.num_days >= MARCH_START_DAY + MARCH_DAYS:
+        start, span = MARCH_START_DAY, MARCH_DAYS
+    else:
+        start, span = 0, traffic.num_days
+    series = hourly_fraction_series(
+        dataset, metric=metric, start_day=start, num_days=span
+    )
+    periods = [p for p in (24, 168) if series.size >= 2 * p]
+    metadata = {
+        "residence": residence,
+        "metric": metric,
+        "window_start_day": start,
+        "window_days": span,
+        "periods": periods,
+    }
+    if not periods:
+        return ArtifactResult(
+            lines=[f"{span}-day window too short for seasonal decomposition"],
+            metadata=metadata,
+        )
+    result = mstl(series, periods)
+    components = [("observed", result.observed), ("trend", result.trend)]
+    components += [(f"seasonal-{p}h", result.seasonal(p)) for p in periods]
+    components.append(("residual", result.residual))
+    hours = np.arange(series.size, dtype=float)
+    rows = [
+        {
+            "component": label,
+            "n": int(values.size),
+            "points": sample_points(hours, values),
+        }
+        for label, values in components
+    ]
+    lines = [
+        render_series(f"{label:12s}", hours, values, max_points=12)
+        for label, values in components
+    ]
+    daily = result.seasonal(24).reshape(-1, 24).mean(axis=0)
+    metadata["daily_peak_hour"] = int(daily.argmax())
+    metadata["daily_trough_hour"] = int(daily.argmin())
+    return ArtifactResult(rows=rows, lines=lines, metadata=metadata)
+
+
+@artifact(
+    "fig2",
+    needs=("traffic",),
+    title="Figure 2 — MSTL of residence A's hourly IPv6 byte fraction",
+    paper="Figure 2",
+)
+def fig2(study: Study) -> ArtifactResult:
+    """MSTL decomposition showing IPv6 traffic is human-driven (bytes, A)."""
+    return _mstl_decomposition(study, "A", "bytes")
+
+
+@artifact(
+    "fig13",
+    needs=("traffic",),
+    title="Figure 13 — MSTL of residence A's hourly IPv6 flow fraction",
+    paper="Figure 13",
+)
+def fig13(study: Study) -> ArtifactResult:
+    """MSTL decomposition of the flow (not byte) fraction at residence A."""
+    return _mstl_decomposition(study, "A", "flows")
+
+
+@artifact(
+    "fig14",
+    needs=("traffic",),
+    title="Figure 14 — MSTL of residence B's hourly IPv6 byte fraction",
+    paper="Figure 14",
+)
+def fig14(study: Study) -> ArtifactResult:
+    """MSTL decomposition of residence B's byte fraction (appendix B)."""
+    return _mstl_decomposition(study, "B", "bytes")
+
+
+@artifact(
+    "fig15",
+    needs=("traffic",),
+    title="Figure 15 — MSTL of residence C's hourly IPv6 byte fraction",
+    paper="Figure 15",
+)
+def fig15(study: Study) -> ArtifactResult:
+    """MSTL decomposition of residence C's byte fraction (appendix B)."""
+    return _mstl_decomposition(study, "C", "bytes")
+
+
+def _pick_residence(study: Study, residence: str):
+    datasets = study.traffic.datasets
+    if residence in datasets:
+        return residence, datasets[residence]
+    name = sorted(datasets)[0]
+    return name, datasets[name]
+
+
+@artifact(
+    "fig3",
+    needs=("traffic",),
+    title="Figure 3 — per-AS IPv6 byte fractions at one residence",
+    paper="Figure 3",
+)
+def fig3(study: Study, residence: str = "A", top: int = 10) -> ArtifactResult:
+    """Which services lead and lag: per-AS IPv6 fractions and their CDF."""
+    residence, dataset = _pick_residence(study, residence)
+    entries = as_traffic_breakdown(dataset)
+    ranked = sorted(entries, key=lambda e: -e.fraction_v6)
+    rows = [
+        {
+            "rank": kind,
+            "asn": entry.info.asn,
+            "name": entry.info.name,
+            "category": entry.info.category.value,
+            "total_gb": round(entry.total_bytes / 1e9, 3),
+            "fraction_v6": entry.fraction_v6,
+        }
+        for kind, selection in (
+            ("lead", ranked[:top]),
+            ("lag", ranked[max(top, len(ranked) - top):]),
+        )
+        for entry in selection
+    ]
+    lines = []
+    if entries:
+        cdf = empirical_cdf([e.fraction_v6 for e in entries])
+        lines.append(render_series("per-AS IPv6 fraction CDF",
+                                   cdf.points, cdf.fractions))
+    return ArtifactResult(
+        columns=("rank", "asn", "name", "category", "total_gb", "fraction_v6"),
+        rows=rows,
+        lines=lines,
+        metadata={"residence": residence, "num_ases": len(entries)},
+    )
+
+
+@artifact(
+    "fig4",
+    needs=("traffic",),
+    title="Figure 4 — per-AS IPv6 fraction box stats across residences",
+    paper="Figure 4",
+)
+def fig4(study: Study, min_residences: int | None = None) -> ArtifactResult:
+    """Cross-residence per-AS box statistics, grouped by service category."""
+    datasets = study.traffic.datasets
+    if min_residences is None:
+        min_residences = min(3, len(datasets))
+    grouped = shared_as_box_stats(datasets, min_residences=min_residences)
+    rows = [
+        {
+            "category": category.value,
+            "asn": info.asn,
+            "name": info.name,
+            "median": stats.median,
+            "p25": stats.p25,
+            "p75": stats.p75,
+            "residences": stats.n,
+        }
+        for category in sorted(grouped, key=lambda c: c.value)
+        for info, stats in grouped[category]
+    ]
+    return ArtifactResult(
+        columns=("category", "asn", "name", "median", "p25", "p75", "residences"),
+        rows=rows,
+        metadata={"min_residences": min_residences},
+    )
+
+
+@artifact(
+    "fig17",
+    needs=("traffic",),
+    title="Figure 17 — per-domain IPv6 fraction box stats across residences",
+    paper="Figure 17",
+)
+def fig17(
+    study: Study,
+    min_residences: int | None = None,
+    min_bytes: int = 100_000_000,
+    top: int = 25,
+) -> ArtifactResult:
+    """Reverse-DNS domain view of which services lead and lag."""
+    datasets = study.traffic.datasets
+    if min_residences is None:
+        min_residences = min(3, len(datasets))
+    stats = shared_domain_box_stats(
+        datasets, min_residences=min_residences, min_bytes=min_bytes
+    )
+    rows = [
+        {
+            "domain": domain,
+            "median": box.median,
+            "p25": box.p25,
+            "p75": box.p75,
+            "residences": box.n,
+        }
+        for domain, box in stats[:top]
+    ]
+    return ArtifactResult(
+        columns=("domain", "median", "p25", "p75", "residences"),
+        rows=rows,
+        metadata={"num_domains": len(stats), "min_residences": min_residences},
+    )
+
+
+@artifact(
+    "heavydays",
+    needs=("traffic",),
+    title="Heavy-hitter days — who drives the extreme IPv6 days",
+    paper="Section 3.2",
+)
+def heavydays(study: Study, residence: str = "A") -> ArtifactResult:
+    """Days at the tails of the daily IPv6 fraction and their top ASes."""
+    residence, dataset = _pick_residence(study, residence)
+    registry = dataset.universe.registry
+    low, high = heavy_hitter_days(dataset)
+
+    def describe(asn: int) -> str:
+        info = registry.lookup(asn)
+        return f"{info.name} (AS{asn})" if info is not None else f"AS{asn}"
+
+    rows = [
+        {
+            "tail": tail,
+            "day": day.day,
+            "fraction_v6": day.fraction_v6,
+            "total_gb": round(day.total_bytes / 1e9, 3),
+            "dominant_ases": ", ".join(describe(asn) for asn, _ in day.dominant_ases),
+        }
+        for tail, days in (("low", low), ("high", high))
+        for day in days
+    ]
+    return ArtifactResult(
+        columns=("tail", "day", "fraction_v6", "total_gb", "dominant_ases"),
+        rows=rows,
+        metadata={"residence": residence},
+    )
+
+
+@artifact(
+    "protocols",
+    needs=("traffic",),
+    title="Protocol mix — bytes and flows per family and transport",
+    paper="Section 3.1",
+)
+def protocols(study: Study) -> ArtifactResult:
+    """Modern IPv6 carries data, not just control traffic, like IPv4."""
+    rows = []
+    for name in sorted(study.traffic.datasets):
+        mixes = protocol_mix(study.traffic.dataset(name))
+        for family in ("IPv4", "IPv6"):
+            mix = mixes[family]
+            for protocol in sorted(
+                mix.bytes_by_protocol, key=mix.bytes_by_protocol.get, reverse=True
+            ):
+                rows.append({
+                    "residence": name,
+                    "family": family,
+                    "protocol": protocol,
+                    "gb": round(mix.bytes_by_protocol[protocol] / 1e9, 3),
+                    "flows": mix.flows_by_protocol.get(protocol, 0),
+                    "byte_share": mix.byte_share(protocol),
+                })
+    return ArtifactResult(
+        columns=("residence", "family", "protocol", "gb", "flows", "byte_share"),
+        rows=rows,
+    )

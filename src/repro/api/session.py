@@ -1,0 +1,249 @@
+"""The :class:`Study` session: one object owning scale, seed, and caches.
+
+A study is configured once (:class:`StudyConfig`) and then builds each
+expensive layer -- the residential traffic study, the web census, the
+cloud attribution, the dependency analysis -- lazily, exactly once per
+configuration, no matter how many artifacts ask for it.  The caches are
+process-wide and keyed on the configuration, so two ``Study`` objects
+with equal configs share the same underlying universes (the behaviour
+the benchmark harness and ``python -m repro all`` rely on).
+
+    from repro.api import Study
+
+    study = Study(days=28, sites=1500)
+    print(study.artifact("table1").to_text())
+    print(study.artifact("fig5").to_json())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.core.cloudstats import attribute_domains
+from repro.core.deps import analyze_dependencies
+from repro.datasets.scenarios import (
+    BENCH_CENSUS_SITES,
+    BENCH_TRAFFIC_DAYS,
+    CensusStudy,
+    ResidenceStudy,
+    build_census,
+    build_residence_study,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.registry import ArtifactResult
+    from repro.core.cloudstats import DomainCloudView
+    from repro.core.deps import DependencyAnalysis
+
+#: How many times each layer has actually been *built* (cache misses).
+#: Tests assert on deltas of this counter to prove memoization works.
+BUILD_COUNTS: Counter = Counter()
+
+_TRAFFIC_CACHE: dict[tuple, ResidenceStudy] = {}
+_CENSUS_CACHE: dict[tuple, CensusStudy] = {}
+_CLOUD_CACHE: dict[tuple, dict] = {}
+_DEPS_CACHE: dict[tuple, Any] = {}
+
+
+def clear_caches() -> None:
+    """Drop every cached layer (``BUILD_COUNTS`` is left intact)."""
+    _TRAFFIC_CACHE.clear()
+    _CENSUS_CACHE.clear()
+    _CLOUD_CACHE.clear()
+    _DEPS_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale and seed of one study; hashable, so it keys the caches.
+
+    Defaults are the *bench* scale from :mod:`repro.datasets.scenarios`
+    (154 days, 4000 sites); the paper scale is ``days=273``,
+    ``sites=100_000``.
+    """
+
+    days: int = BENCH_TRAFFIC_DAYS
+    sites: int = BENCH_CENSUS_SITES
+    seed: int = 42
+    link_clicks: int = 5
+    residences: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+        if self.sites < 1:
+            raise ValueError("sites must be >= 1")
+        if self.link_clicks < 0:
+            raise ValueError("link_clicks must be >= 0")
+        if self.residences is not None:
+            object.__setattr__(self, "residences", tuple(sorted(self.residences)))
+
+    def replace(self, **changes: Any) -> "StudyConfig":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def traffic_key(self) -> tuple:
+        return ("traffic", self.days, self.seed, self.residences)
+
+    @property
+    def census_key(self) -> tuple:
+        return ("census", self.sites, self.seed, self.link_clicks)
+
+
+class Study:
+    """A lazy, memoized session over the paper's three perspectives.
+
+    Layers are exposed as properties -- :attr:`traffic`, :attr:`census`,
+    :attr:`cloud`, :attr:`dependencies` -- and nothing is generated until
+    an artifact (or caller) touches one.  Artifacts run through
+    :meth:`artifact` / :meth:`run` and every artifact sharing this
+    study's config reuses the same builds.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        *,
+        log: Callable[[str], None] | None = None,
+        **overrides: Any,
+    ) -> None:
+        if config is None:
+            config = StudyConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._log = log
+        self._prebuilt = False
+        self._traffic: ResidenceStudy | None = None
+        self._census: CensusStudy | None = None
+        self._cloud: dict[str, "DomainCloudView"] | None = None
+        self._deps: "DependencyAnalysis | None" = None
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        traffic: ResidenceStudy | None = None,
+        census: CensusStudy | None = None,
+        config: StudyConfig | None = None,
+    ) -> "Study":
+        """Wrap already-built universes (compat shims, tests).
+
+        Derived layers (cloud attribution, dependency analysis) are
+        computed from the given objects and cached on the instance only:
+        the prebuilt universes' true seed/scale are unknown, so they must
+        not populate the config-keyed process caches.
+        """
+        if config is None:
+            config = StudyConfig(
+                days=traffic.num_days if traffic is not None else BENCH_TRAFFIC_DAYS,
+                sites=census.config.num_sites if census is not None else BENCH_CENSUS_SITES,
+            )
+        study = cls(config)
+        study._prebuilt = True
+        study._traffic = traffic
+        study._census = census
+        return study
+
+    def _say(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message)
+
+    @property
+    def traffic(self) -> ResidenceStudy:
+        """The five-residence traffic study (built on first access)."""
+        if self._traffic is None:
+            key = self.config.traffic_key
+            if key not in _TRAFFIC_CACHE:
+                self._say(
+                    f"# generating {self.config.days} days of residential traffic ..."
+                )
+                BUILD_COUNTS["traffic"] += 1
+                _TRAFFIC_CACHE[key] = build_residence_study(
+                    num_days=self.config.days,
+                    seed=self.config.seed,
+                    residences=self.config.residences,
+                )
+            self._traffic = _TRAFFIC_CACHE[key]
+        return self._traffic
+
+    @property
+    def census(self) -> CensusStudy:
+        """The crawled web census (built on first access)."""
+        if self._census is None:
+            key = self.config.census_key
+            if key not in _CENSUS_CACHE:
+                self._say(f"# crawling a {self.config.sites}-site universe ...")
+                BUILD_COUNTS["census"] += 1
+                _CENSUS_CACHE[key] = build_census(
+                    num_sites=self.config.sites,
+                    seed=self.config.seed,
+                    link_clicks=self.config.link_clicks,
+                )
+            self._census = _CENSUS_CACHE[key]
+        return self._census
+
+    @property
+    def cloud(self) -> dict[str, "DomainCloudView"]:
+        """Per-FQDN cloud attribution of the census (section 5)."""
+        if self._cloud is None:
+            key = self.config.census_key
+            if self._prebuilt or key not in _CLOUD_CACHE:
+                census = self.census
+                self._say("# attributing crawled FQDNs to cloud organizations ...")
+                BUILD_COUNTS["cloud"] += 1
+                views = attribute_domains(
+                    census.dataset, census.ecosystem.routing, census.ecosystem.registry
+                )
+                if self._prebuilt:
+                    self._cloud = views
+                    return self._cloud
+                _CLOUD_CACHE[key] = views
+            self._cloud = _CLOUD_CACHE[key]
+        return self._cloud
+
+    @property
+    def dependencies(self) -> "DependencyAnalysis":
+        """The section-4.3 dependency analysis of the census."""
+        if self._deps is None:
+            key = self.config.census_key
+            if self._prebuilt or key not in _DEPS_CACHE:
+                census = self.census
+                self._say("# analyzing IPv4-only dependencies of partial sites ...")
+                BUILD_COUNTS["dependencies"] += 1
+                analysis = analyze_dependencies(census.dataset)
+                if self._prebuilt:
+                    self._deps = analysis
+                    return self._deps
+                _DEPS_CACHE[key] = analysis
+            self._deps = _DEPS_CACHE[key]
+        return self._deps
+
+    def artifact(self, name: str, **params: Any) -> "ArtifactResult":
+        """Run one registered artifact against this study."""
+        from repro.api import registry
+
+        return registry.run(self, name, **params)
+
+    def run(self, names: Iterable[str] | None = None) -> list["ArtifactResult"]:
+        """Run several artifacts (all of them by default), in order."""
+        from repro.api import registry
+
+        wanted = list(names) if names is not None else registry.names()
+        return [self.artifact(name) for name in wanted]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = [
+            layer
+            for layer, value in (
+                ("traffic", self._traffic),
+                ("census", self._census),
+                ("cloud", self._cloud),
+                ("dependencies", self._deps),
+            )
+            if value is not None
+        ]
+        return f"Study({self.config!r}, built={built or 'nothing'})"

@@ -1,156 +1,62 @@
-"""Paper-style report rendering.
+"""Paper-style report rendering (compatibility shims).
 
-One function per headline artifact, each taking analysis outputs and
-returning the rendered text table -- the same formats the benchmark
-harness emits.  ``full_report`` strings them together for the CLI
-(``python -m repro``).
+The renderers now live in the artifact registry (:mod:`repro.api`);
+each function here wraps prebuilt scenario objects in a
+:class:`~repro.api.session.Study` session and runs the corresponding
+registered artifact, so text output stays identical while the analysis
+wiring exists exactly once.
+
+New code should call ``Study.artifact(name)`` directly -- it returns
+structured rows that also render to JSON.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.client import compute_residence_stats
-from repro.core.cloudstats import (
-    attribute_domains,
-    cloud_provider_breakdown,
-    overall_domain_counts,
-    service_adoption_table,
-)
-from repro.core.deps import analyze_dependencies, whatif_adoption_curve
-from repro.core.readiness import census_breakdown, top_n_breakdown
 from repro.datasets.scenarios import CensusStudy, ResidenceStudy
-from repro.util.tables import TextTable, format_count_pct
+
+
+def _study(traffic: ResidenceStudy | None = None, census: CensusStudy | None = None):
+    from repro.api import Study
+
+    return Study.from_prebuilt(traffic=traffic, census=census)
 
 
 def render_table1(study: ResidenceStudy) -> str:
     """Table 1: per-residence traffic and IPv6 fractions."""
-    table = TextTable(
-        ["res", "scope", "GB", "frac v6 bytes", "daily mean (s.d.)",
-         "flows", "frac v6 flows"],
-        title=f"Table 1 — {study.num_days} days, residences {', '.join(sorted(study.datasets))}",
-    )
-    for name in sorted(study.datasets):
-        stats = compute_residence_stats(study.dataset(name))
-        for scope in (stats.external, stats.internal):
-            table.add_row([
-                name, scope.scope.value, f"{scope.total_gb:.2f}",
-                f"{scope.byte_fraction_overall:.3f}",
-                f"{scope.byte_fraction_daily_mean:.3f} ({scope.byte_fraction_daily_std:.3f})",
-                scope.total_flows,
-                f"{scope.flow_fraction_overall:.3f}",
-            ])
-    return table.render()
+    return _study(traffic=study).artifact("table1").to_text()
 
 
 def render_fig5(census: CensusStudy) -> str:
     """Figure 5: the census classification table."""
-    b = census_breakdown(census.dataset)
-    conn = b.connection_success
-    table = TextTable(["category", "count (%)"], title="Figure 5 — site classification")
-    table.add_row(["Total", b.total])
-    table.add_row(["Loading-Failure (NXDOMAIN)", b.nxdomain])
-    table.add_row(["Loading-Failure (Others)", b.other_failure])
-    table.add_row(["Connection Success", format_count_pct(conn, conn)])
-    table.add_row(["Unknown Primary Domain", format_count_pct(b.unknown_primary, conn)])
-    table.add_row(["IPv4-only (A-only domain)", format_count_pct(b.ipv4_only, conn)])
-    table.add_row(["AAAA-enabled Domain", format_count_pct(b.aaaa_enabled, conn)])
-    table.add_row(["IPv6-partial", format_count_pct(b.ipv6_partial, conn)])
-    table.add_row(["IPv6-full", format_count_pct(b.ipv6_full, conn)])
-    table.add_row(["Browser Used IPv4", format_count_pct(b.browser_used_ipv4, conn)])
-    table.add_row(["Browser Used IPv6 Only", format_count_pct(b.browser_used_ipv6_only, conn)])
-    return table.render()
+    return _study(census=census).artifact("fig5").to_text()
 
 
 def render_fig6(census: CensusStudy) -> str:
     """Figure 6: readiness by top-N slice."""
-    n = len(census.dataset.results)
-    rows = top_n_breakdown(census.dataset, ns=(100, n // 10, n))
-    table = TextTable(
-        ["top N", "IPv4-only", "IPv6-partial", "IPv6-full"],
-        title="Figure 6 — readiness by popularity",
-    )
-    for row in rows:
-        table.add_row([
-            row.n, f"{row.ipv4_only_share:.1%}",
-            f"{row.ipv6_partial_share:.1%}", f"{row.ipv6_full_share:.1%}",
-        ])
-    return table.render()
+    return _study(census=census).artifact("fig6").to_text()
 
 
 def render_dependencies(census: CensusStudy) -> str:
     """Figures 7, 8 and 10 in one summary block."""
-    analysis = analyze_dependencies(census.dataset)
-    if not analysis.num_partial:
-        return "no IPv6-partial sites in this universe"
-    counts = np.array(analysis.v4only_resource_counts)
-    fractions = np.array(analysis.v4only_resource_fractions)
-    spans = np.array([i.span for i in analysis.domain_impacts.values()])
-    curve = whatif_adoption_curve(analysis)
-    k = max(1, round(0.033 * len(curve)))
-    lines = [
-        f"IPv6-partial sites: {analysis.num_partial}",
-        f"IPv4-only resources per site (Fig 7): "
-        f"p25={np.percentile(counts, 25):.0f} p50={np.percentile(counts, 50):.0f} "
-        f"p75={np.percentile(counts, 75):.0f}",
-        f"fraction IPv4-only (Fig 7): "
-        f"p25={np.percentile(fractions, 25):.2f} p50={np.percentile(fractions, 50):.2f} "
-        f"p75={np.percentile(fractions, 75):.2f}",
-        f"IPv4-only domains (Fig 8): {len(spans)}; span p75={np.percentile(spans, 75):.0f} "
-        f"p95={np.percentile(spans, 95):.0f} max={spans.max()}",
-        f"what-if (Fig 10): top 3.3% of domains ({curve[k - 1][0]}) unlock "
-        f"{curve[k - 1][1] / analysis.num_partial:.1%} of partial sites",
-    ]
-    return "\n".join(lines)
+    return _study(census=census).artifact("deps").to_text()
 
 
 def render_table3(census: CensusStudy, top: int = 15) -> str:
     """Figure 11 / Table 3: per-cloud breakdown."""
-    eco = census.ecosystem
-    views = attribute_domains(census.dataset, eco.routing, eco.registry)
-    total, ipv4_only, full, v6_only = overall_domain_counts(views)
-    table = TextTable(
-        ["organization", "# domains", "IPv4-only", "IPv6-full", "IPv6-only"],
-        title="Table 3 — domains per cloud organization",
-    )
-    table.add_row(["Overall", total, format_count_pct(ipv4_only, total),
-                   format_count_pct(full, total), format_count_pct(v6_only, total)])
-    for s in cloud_provider_breakdown(views)[:top]:
-        table.add_row([
-            s.org.name, s.total,
-            format_count_pct(s.ipv4_only, s.total),
-            format_count_pct(s.ipv6_full, s.total),
-            format_count_pct(s.ipv6_only, s.total),
-        ])
-    return table.render()
+    return _study(census=census).artifact("table3", top=top).to_text()
 
 
 def render_table2(census: CensusStudy, min_domains: int = 10) -> str:
     """Table 2: per-service adoption versus policy."""
-    eco = census.ecosystem
-    views = attribute_domains(census.dataset, eco.routing, eco.registry)
-    rows = service_adoption_table(views, eco.service_of_cname, min_domains=min_domains)
-    table = TextTable(
-        ["provider", "service", "policy", "# ready", "# total", "%"],
-        title="Table 2 — IPv6 adoption across cloud services",
-    )
-    for row in rows:
-        table.add_row([
-            row.provider.name, row.service.name, row.service.policy.value,
-            row.ipv6_ready, row.total, f"{row.share:.1%}",
-        ])
-    return table.render()
+    return _study(census=census).artifact("table2", min_domains=min_domains).to_text()
 
 
 def full_report(study: ResidenceStudy, census: CensusStudy) -> str:
     """The complete paper-style report over prebuilt scenarios."""
+    session = _study(traffic=study, census=census)
     sections = [
-        render_table1(study),
-        render_fig5(census),
-        render_fig6(census),
-        render_dependencies(census),
-        render_table3(census),
-        render_table2(census),
+        session.artifact(name).to_text()
+        for name in ("table1", "fig5", "fig6", "deps", "table3", "table2")
     ]
     rule = "\n" + "=" * 72 + "\n"
     return rule.join(sections)

@@ -99,28 +99,24 @@ def build_census(
     return CensusStudy(ecosystem=ecosystem, dataset=census.run())
 
 
-# Cached accessors: benches for different figures share one expensive build.
-_RESIDENCE_CACHE: dict[tuple, ResidenceStudy] = {}
-_CENSUS_CACHE: dict[tuple, CensusStudy] = {}
+# Cached accessors, kept for callers predating repro.api: both delegate to
+# the Study session cache so a process never builds the same universe twice
+# no matter which surface asked for it.
 
 
 def residence_scenario(
     num_days: int = BENCH_TRAFFIC_DAYS, seed: int = 42
 ) -> ResidenceStudy:
     """Cached :func:`build_residence_study` (one build per process)."""
-    key = (num_days, seed)
-    if key not in _RESIDENCE_CACHE:
-        _RESIDENCE_CACHE[key] = build_residence_study(num_days=num_days, seed=seed)
-    return _RESIDENCE_CACHE[key]
+    from repro.api.session import Study
+
+    return Study(days=num_days, seed=seed).traffic
 
 
 def census_scenario(
     num_sites: int = BENCH_CENSUS_SITES, seed: int = 42, link_clicks: int = 5
 ) -> CensusStudy:
     """Cached :func:`build_census` (one build per process)."""
-    key = (num_sites, seed, link_clicks)
-    if key not in _CENSUS_CACHE:
-        _CENSUS_CACHE[key] = build_census(
-            num_sites=num_sites, seed=seed, link_clicks=link_clicks
-        )
-    return _CENSUS_CACHE[key]
+    from repro.api.session import Study
+
+    return Study(sites=num_sites, seed=seed, link_clicks=link_clicks).census

@@ -1,0 +1,94 @@
+"""Tests for the Study session: config, laziness, memoization."""
+
+import pytest
+
+from repro.api import BUILD_COUNTS, Study, StudyConfig
+from repro.datasets import build_residence_study
+
+
+class TestStudyConfig:
+    def test_defaults_are_bench_scale(self):
+        config = StudyConfig()
+        assert config.days == 154
+        assert config.sites == 4000
+        assert config.seed == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(days=0)
+        with pytest.raises(ValueError):
+            StudyConfig(sites=0)
+        with pytest.raises(ValueError):
+            StudyConfig(link_clicks=-1)
+
+    def test_residences_normalized(self):
+        config = StudyConfig(residences=("E", "A"))
+        assert config.residences == ("A", "E")
+
+    def test_replace_revalidates(self):
+        config = StudyConfig(days=7)
+        assert config.replace(days=9).days == 9
+        with pytest.raises(ValueError):
+            config.replace(days=-1)
+
+    def test_hashable_and_equal(self):
+        assert StudyConfig(days=7) == StudyConfig(days=7)
+        assert len({StudyConfig(days=7), StudyConfig(days=7)}) == 1
+
+    def test_kwargs_constructor(self):
+        study = Study(days=7, seed=3)
+        assert study.config == StudyConfig(days=7, seed=3)
+
+
+class TestLazyMemoizedBuilds:
+    def test_construction_builds_nothing(self):
+        before = BUILD_COUNTS.copy()
+        Study(days=200, sites=50_000, seed=12345)  # huge scale: must stay lazy
+        assert BUILD_COUNTS == before
+
+    def test_traffic_built_once_across_instances(self):
+        config = StudyConfig(days=3, seed=9001, residences=("A",))
+        before = BUILD_COUNTS["traffic"]
+        first = Study(config).traffic
+        second = Study(config).traffic
+        assert first is second
+        assert BUILD_COUNTS["traffic"] - before == 1
+
+    def test_different_config_builds_again(self):
+        before = BUILD_COUNTS["traffic"]
+        Study(days=3, seed=9002, residences=("A",)).traffic
+        Study(days=3, seed=9003, residences=("A",)).traffic
+        assert BUILD_COUNTS["traffic"] - before == 2
+
+    def test_census_and_derived_layers_built_once(self):
+        config = StudyConfig(sites=120, seed=9004)
+        before = BUILD_COUNTS.copy()
+        for _ in range(2):
+            study = Study(config)
+            study.census
+            study.cloud
+            study.dependencies
+        assert BUILD_COUNTS["census"] - before["census"] == 1
+        assert BUILD_COUNTS["cloud"] - before["cloud"] == 1
+        assert BUILD_COUNTS["dependencies"] - before["dependencies"] == 1
+
+    def test_residence_subset_flows_through(self):
+        study = Study(days=3, seed=9001, residences=("A",))
+        assert sorted(study.traffic.datasets) == ["A"]
+
+
+class TestFromPrebuilt:
+    def test_prebuilt_traffic_skips_build(self):
+        traffic = build_residence_study(num_days=3, seed=9005, residences=("A",))
+        before = BUILD_COUNTS.copy()
+        study = Study.from_prebuilt(traffic=traffic)
+        result = study.artifact("table1")
+        assert BUILD_COUNTS == before
+        assert "Table 1" in result.to_text()
+        assert study.config.days == 3
+
+    def test_run_returns_results_in_order(self):
+        traffic = build_residence_study(num_days=3, seed=9005, residences=("A",))
+        study = Study.from_prebuilt(traffic=traffic)
+        results = study.run(["table1", "fig1"])
+        assert [r.name for r in results] == ["table1", "fig1"]
