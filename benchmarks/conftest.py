@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures for the benchmark harness, plus per-phase timing.
 
 Every table and figure of the paper has one bench module.  The expensive
 universes (the five-residence traffic study and the web census) come from
@@ -8,6 +8,14 @@ the paper-style rows/series both to stdout and to
 ``benchmarks/results/<name>.txt`` so the regenerated "figures" survive
 output capture.
 
+The harness also records wall times -- the expensive builds (traffic,
+census, cloud attribution) via the session fixtures and every bench's
+analysis+render via the pytest report hook -- and writes them to
+``benchmarks/results/BENCH_results.json`` at session end.  Committed (or
+CI-archived) snapshots of that file give every future PR a perf
+trajectory to compare against; see the README's Performance section for
+how to read it.
+
 Scale note: the paper measures 273 days of traffic and crawls 100k sites;
 the bench scale (154 days, 4000 sites) reproduces every qualitative shape
 in minutes.  Pass the paper scale through ``StudyConfig`` when time
@@ -16,16 +24,54 @@ permits.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Callable, TypeVar
 
 import pytest
 
 from repro.api import Study, StudyConfig
 
+T = TypeVar("T")
+
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_RESULTS = RESULTS_DIR / "BENCH_results.json"
 
 #: One session at the bench scale; every bench shares its builds.
 SESSION = Study(StudyConfig())
+
+#: Phase name -> wall seconds, written to BENCH_results.json at exit.
+PHASES: dict[str, float] = {}
+
+#: Historical reference: the record-loop implementation measured on the
+#: 1-CPU dev container right before the columnar FlowFrame rewrite
+#: (PR 2), bench scale, full `Study(StudyConfig())` + all 26 artifacts.
+#: Kept in every snapshot so the trajectory has a fixed origin.
+PRE_COLUMNAR_BASELINE = {
+    "label": "pre-FlowFrame record loops (PR 2 baseline, 1 CPU)",
+    "build:traffic": 34.2,
+    "build:census": 32.4,
+    "artifact:fig17": 28.0,
+    "artifact:fig4": 16.9,
+    "artifact:heavydays": 6.9,
+    "artifact:longitudinal": 66.5,
+    "end_to_end_all_artifacts": 196.5,
+}
+
+
+def record_phase(name: str, thunk: Callable[[], T]) -> T:
+    """Run ``thunk`` and record its wall time under ``name`` (first call
+    only: later calls hit the session cache and would record ~0)."""
+    if name in PHASES:
+        return thunk()
+    start = time.perf_counter()
+    value = thunk()
+    PHASES[name] = time.perf_counter() - start
+    return value
 
 
 def emit(name: str, text: str) -> None:
@@ -38,21 +84,52 @@ def emit(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def residence_study():
     """154 days of traffic at residences A-E (covers spring break)."""
-    return SESSION.traffic
+    return record_phase("build:traffic", lambda: SESSION.traffic)
 
 
 @pytest.fixture(scope="session")
 def census():
     """The 4000-site census with five link clicks per site."""
-    return SESSION.census
+    return record_phase("build:census", lambda: SESSION.census)
 
 
 @pytest.fixture(scope="session")
 def census_views(census):
     """Per-FQDN cloud attribution of the census."""
-    return SESSION.cloud
+    return record_phase("build:cloud", lambda: SESSION.cloud)
 
 
 @pytest.fixture()
 def report():
     return emit
+
+
+def pytest_runtest_logreport(report):
+    """Record each bench's analysis+render wall time as its own phase."""
+    if report.when == "call":
+        PHASES[f"bench:{report.nodeid}"] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the phase timings so future PRs can compare against them."""
+    if not PHASES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "days": SESSION.config.days,
+            "sites": SESSION.config.sites,
+            "seed": SESSION.config.seed,
+        },
+        "machine": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "phases": {name: round(seconds, 4) for name, seconds in sorted(PHASES.items())},
+        "total_wall_s": round(sum(PHASES.values()), 3),
+        "reference": PRE_COLUMNAR_BASELINE,
+    }
+    BENCH_RESULTS.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,99 @@
+"""Perf smoke: build a small Study under a wall-clock budget.
+
+Runs the full pipeline -- traffic generation, census crawl, cloud
+attribution, and every registered artifact -- at a deliberately small
+scale (``days=14, sites=300`` by default), times each phase, and writes
+the same ``BENCH_results.json`` schema the benchmark harness produces.
+CI runs this per-PR and uploads the JSON as a build artifact, so a perf
+regression shows up as a failed budget or a visibly slower trajectory
+across PR artifacts.
+
+Usage::
+
+    python benchmarks/perf_smoke.py [--days 14] [--sites 300]
+        [--budget 300] [--output benchmarks/results/BENCH_results.json]
+
+Exits non-zero when total wall time exceeds ``--budget`` seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.api import Study, StudyConfig, registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=14)
+    parser.add_argument("--sites", type=int, default=300)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=300.0,
+        help="fail if total wall time exceeds this many seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_results.json",
+    )
+    args = parser.parse_args(argv)
+
+    study = Study(StudyConfig(days=args.days, sites=args.sites))
+    phases: dict[str, float] = {}
+    overall_start = time.perf_counter()
+
+    def timed(name: str, thunk) -> None:
+        start = time.perf_counter()
+        thunk()
+        phases[name] = time.perf_counter() - start
+
+    timed("build:traffic", lambda: study.traffic)
+    timed("build:census", lambda: study.census)
+    timed("build:cloud", lambda: study.cloud)
+    for name in registry.names():
+        timed(f"artifact:{name}", lambda name=name: study.artifact(name).to_text())
+
+    total = time.perf_counter() - overall_start
+    payload = {
+        "schema": 1,
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "days": args.days,
+            "sites": args.sites,
+            "seed": study.config.seed,
+        },
+        "machine": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "phases": {name: round(seconds, 4) for name, seconds in sorted(phases.items())},
+        "total_wall_s": round(total, 3),
+        "budget_s": args.budget,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    slowest = sorted(phases.items(), key=lambda kv: -kv[1])[:5]
+    print(f"perf-smoke: days={args.days} sites={args.sites} "
+          f"total={total:.1f}s (budget {args.budget:.0f}s)")
+    for name, seconds in slowest:
+        print(f"  {seconds:8.2f}s  {name}")
+    print(f"  wrote {args.output}")
+    if total > args.budget:
+        print("perf-smoke: FAILED -- over budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from repro.api import Study, StudyConfig, jsonify, registry
 _META = ("all", "list")
 
 #: StudyConfig fields overridable per artifact via ``name@key=value,...``.
-_OVERRIDE_KEYS = ("days", "sites", "seed", "link_clicks")
+_OVERRIDE_KEYS = ("days", "sites", "seed", "link_clicks", "parallel")
 
 
 def parse_artifact_spec(value: str) -> tuple[str, dict[str, int]]:
@@ -81,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42, help="scenario seed")
     parser.add_argument("--link-clicks", type=int, default=5,
                         help="same-site link clicks per crawled site")
+    parser.add_argument("--parallel", type=int, default=None,
+                        help="traffic-generation worker processes "
+                        "(default: auto-detect; 0 or 1 forces sequential)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     return parser
@@ -134,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
             sites=args.sites,
             seed=args.seed,
             link_clicks=args.link_clicks,
+            parallel=args.parallel,
         )
     except ValueError as exc:
         parser.error(str(exc))

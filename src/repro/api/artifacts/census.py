@@ -317,6 +317,7 @@ def misclass(study: Study) -> ArtifactResult:
 
 @artifact(
     "longitudinal",
+    needs=("census",),
     title="Longitudinal — the same universe at successive adoption levels",
     paper="Section 4.5",
 )
@@ -326,11 +327,20 @@ def longitudinal(
     drift_per_round: float = 0.05,
 ) -> ArtifactResult:
     """Re-crawl the identical site population as adoption drifts forward."""
+    from repro.crawler.crawl import LINK_CLICKS
+
+    # Round 0 is the unchanged base universe; when the study's census was
+    # crawled with the same knobs, its breakdown is byte-identical to
+    # what round 0 would rebuild, so reuse it instead of re-crawling.
+    precomputed = None
+    if study.config.link_clicks == LINK_CLICKS:
+        precomputed = {0: census_breakdown(study.census.dataset)}
     snapshots = run_snapshots(
         labels=labels,
         num_sites=study.config.sites,
         seed=study.config.seed,
         drift_per_round=drift_per_round,
+        precomputed=precomputed,
     )
     rows = [
         {

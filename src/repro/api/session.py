@@ -63,6 +63,13 @@ class StudyConfig:
     Defaults are the *bench* scale from :mod:`repro.datasets.scenarios`
     (154 days, 4000 sites); the paper scale is ``days=273``,
     ``sites=100_000``.
+
+    ``parallel`` controls traffic generation only: ``None`` (default)
+    auto-enables a process pool on multi-core machines, ``False`` forces
+    the sequential path, an ``int`` pins the worker count.  It does not
+    key the caches -- parallel and sequential builds are bit-identical
+    (each residence draws from its own seeded RNG substream), so they
+    share cache entries.
     """
 
     days: int = BENCH_TRAFFIC_DAYS
@@ -70,6 +77,7 @@ class StudyConfig:
     seed: int = 42
     link_clicks: int = 5
     residences: tuple[str, ...] | None = None
+    parallel: bool | int | None = None
 
     def __post_init__(self) -> None:
         if self.days < 1:
@@ -166,6 +174,7 @@ class Study:
                     num_days=self.config.days,
                     seed=self.config.seed,
                     residences=self.config.residences,
+                    parallel=self.config.parallel,
                 )
             self._traffic = _TRAFFIC_CACHE[key]
         return self._traffic

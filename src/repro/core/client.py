@@ -13,6 +13,13 @@ the paper's client-side results:
   its origin AS via the BGP table;
 * :func:`domain_traffic_breakdown` / :func:`shared_domain_box_stats` --
   the reverse-DNS domain view (Figure 17).
+
+Every analysis runs on the residence's columnar
+:class:`~repro.flowmon.frame.FlowFrame` (``dataset.frame()``, built once
+and cached): group-bys are ``np.bincount``/``np.add.at`` reductions over
+integer codes, with unique keys kept in first-appearance order so the
+results -- including dict insertion order and stable-sort tie behaviour
+-- are bit-identical to the original per-record loops.
 """
 
 from __future__ import annotations
@@ -21,15 +28,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.flowmon.conntrack import FlowRecord
+from repro.flowmon.conntrack import Protocol
+from repro.flowmon.frame import FlowFrame, day_sums, group_sums
 from repro.flowmon.monitor import FlowScope
 from repro.net.asn import AsCategory, AsInfo
-from repro.net.psl import default_psl
 from repro.traffic.generate import ResidenceDataset
 from repro.util.stats import BoxStats, box_stats
-from repro.util.timeutil import HOUR, day_index
+from repro.util.timeutil import HOUR
 
 GB = 1e9
+
+#: Key packing for (day, asn) group-bys; ASNs fit in 32 bits.
+_ASN_BITS = 32
 
 
 def _fraction(v6: float, total: float) -> float:
@@ -70,29 +80,28 @@ class ResidenceStats:
 
 
 def _scope_stats(
-    residence: str, scope: FlowScope, records: list[FlowRecord]
+    residence: str, scope: FlowScope, frame: FlowFrame
 ) -> ResidenceScopeStats:
-    total_bytes = v6_bytes = 0
-    total_flows = v6_flows = 0
-    per_day: dict[int, list[int]] = {}
-    for record in records:
-        volume = record.total_bytes
-        total_bytes += volume
-        total_flows += 1
-        day = day_index(record.start_time)
-        bucket = per_day.setdefault(day, [0, 0, 0, 0])  # bytes, v6b, flows, v6f
-        bucket[0] += volume
-        bucket[2] += 1
-        if record.key.is_v6:
-            v6_bytes += volume
-            v6_flows += 1
-            bucket[1] += volume
-            bucket[3] += 1
+    volume = frame.total_bytes
+    v6_mask = frame.is_v6
+    v6_volume = volume * v6_mask
+    total_bytes = int(volume.sum())
+    v6_bytes = int(v6_volume.sum())
+    total_flows = len(frame)
+    v6_flows = int(np.count_nonzero(v6_mask))
+
+    day = frame.day
+    day_bytes, day_v6_bytes = day_sums(day, [volume, v6_volume])
+    day_flows = np.bincount(day, minlength=day_bytes.size).astype(np.int64)
+    day_v6_flows = np.bincount(
+        day[v6_mask], minlength=day_bytes.size
+    ).astype(np.int64)
+    present = np.nonzero(day_flows)[0]  # days with >= 1 record, ascending
     daily_byte_fracs = [
-        _fraction(b[1], b[0]) for b in per_day.values() if b[0] > 0
+        int(day_v6_bytes[d]) / int(day_bytes[d]) for d in present if day_bytes[d] > 0
     ]
     daily_flow_fracs = [
-        _fraction(b[3], b[2]) for b in per_day.values() if b[2] > 0
+        int(day_v6_flows[d]) / int(day_flows[d]) for d in present
     ]
     return ResidenceScopeStats(
         residence=residence,
@@ -115,10 +124,15 @@ def _scope_stats(
 def compute_residence_stats(dataset: ResidenceDataset) -> ResidenceStats:
     """Table 1's row pair for one residence."""
     name = dataset.profile.name
+    frame = dataset.frame()
     return ResidenceStats(
         residence=name,
-        external=_scope_stats(name, FlowScope.EXTERNAL, dataset.external_records()),
-        internal=_scope_stats(name, FlowScope.INTERNAL, dataset.internal_records()),
+        external=_scope_stats(
+            name, FlowScope.EXTERNAL, frame.select(scope=FlowScope.EXTERNAL)
+        ),
+        internal=_scope_stats(
+            name, FlowScope.INTERNAL, frame.select(scope=FlowScope.INTERNAL)
+        ),
     )
 
 
@@ -131,18 +145,17 @@ def daily_fractions(
     daily-fraction CDFs of Figures 1 and 16."""
     if metric not in ("bytes", "flows"):
         raise ValueError(f"metric must be 'bytes' or 'flows', got {metric!r}")
-    per_day: dict[int, list[float]] = {}
-    for record in dataset.monitor.records(scope=scope):
-        day = day_index(record.start_time)
-        bucket = per_day.setdefault(day, [0.0, 0.0])
-        amount = float(record.total_bytes) if metric == "bytes" else 1.0
-        bucket[0] += amount
-        if record.key.is_v6:
-            bucket[1] += amount
+    frame = dataset.frame().select(scope=scope)
+    day = frame.day
+    if metric == "bytes":
+        amount = frame.total_bytes
+    else:
+        amount = np.ones(len(frame), dtype=np.int64)
+    totals, v6 = day_sums(day, [amount, amount * frame.is_v6])
     return [
-        bucket[1] / bucket[0]
-        for _, bucket in sorted(per_day.items())
-        if bucket[0] > 0
+        int(v6[d]) / int(totals[d])
+        for d in np.nonzero(np.bincount(day, minlength=totals.size))[0]
+        if totals[d] > 0
     ]
 
 
@@ -165,20 +178,22 @@ def hourly_fraction_series(
     if num_days <= 0:
         raise ValueError("window must cover at least one day")
     hours = num_days * 24
-    totals = np.zeros(hours)
-    v6 = np.zeros(hours)
+    frame = dataset.frame().select(scope=scope)
     start_time = start_day * 24 * HOUR
-    for record in dataset.monitor.records(scope=scope):
-        offset = record.start_time - start_time
-        if offset < 0:
-            continue
-        hour = int(offset // HOUR)
-        if hour >= hours:
-            continue
-        amount = float(record.total_bytes) if metric == "bytes" else 1.0
-        totals[hour] += amount
-        if record.key.is_v6:
-            v6[hour] += amount
+    offset = frame.start_time - start_time
+    hour = np.floor_divide(offset, HOUR)
+    keep = (offset >= 0) & (hour < hours)
+    hour_index = hour[keep].astype(np.int64)
+    if metric == "bytes":
+        amount = frame.total_bytes[keep]
+    else:
+        amount = np.ones(hour_index.size, dtype=np.int64)
+    totals_int = np.zeros(hours, dtype=np.int64)
+    v6_int = np.zeros(hours, dtype=np.int64)
+    np.add.at(totals_int, hour_index, amount)
+    np.add.at(v6_int, hour_index, amount * frame.is_v6[keep])
+    totals = totals_int.astype(float)
+    v6 = v6_int.astype(float)
     with np.errstate(invalid="ignore", divide="ignore"):
         fractions = np.where(totals > 0, v6 / np.maximum(totals, 1e-12), np.nan)
     observed = ~np.isnan(fractions)
@@ -221,43 +236,45 @@ def heavy_hitter_days(
     """
     if not 0.0 <= low_quantile < high_quantile <= 1.0:
         raise ValueError("quantiles must satisfy 0 <= low < high <= 1")
-    routing = dataset.universe.routing
-    monitor = dataset.monitor
-    per_day: dict[int, dict] = {}
-    for record in dataset.external_records():
-        day = day_index(record.start_time)
-        bucket = per_day.setdefault(day, {"total": 0, "v6": 0, "by_asn": {}})
-        volume = record.total_bytes
-        bucket["total"] += volume
-        if record.key.is_v6:
-            bucket["v6"] += volume
-        peer = monitor.external_peer(record)
-        if peer is not None:
-            asn = routing.origin_of(peer)
-            if asn is not None:
-                bucket["by_asn"][asn] = bucket["by_asn"].get(asn, 0) + volume
-    days = {
-        day: bucket for day, bucket in per_day.items() if bucket["total"] > 0
-    }
-    if not days:
+    frame = dataset.frame().select(scope=FlowScope.EXTERNAL)
+    day = frame.day
+    volume = frame.total_bytes
+    day_total, day_v6 = day_sums(day, [volume, volume * frame.is_v6])
+
+    # Per-(day, AS) byte totals for the attributed external flows, with
+    # groups in first-appearance order (= dict insertion order of the
+    # original record loop, which breaks byte-count ties).
+    asn = frame.flow_asn
+    attributed = asn >= 0
+    packed = (
+        day[attributed].astype(np.int64) << _ASN_BITS
+    ) | asn[attributed]
+    keys, _, (asn_bytes,) = group_sums(packed, [volume[attributed]])
+    by_asn: dict[int, list[tuple[int, int]]] = {}
+    for key, total in zip(keys, asn_bytes):
+        by_asn.setdefault(int(key) >> _ASN_BITS, []).append(
+            (int(key) & ((1 << _ASN_BITS) - 1), int(total))
+        )
+
+    present = [int(d) for d in np.nonzero(day_total > 0)[0]]
+    if not present:
         return [], []
-    fractions = {day: b["v6"] / b["total"] for day, b in days.items()}
+    fractions = {d: int(day_v6[d]) / int(day_total[d]) for d in present}
     values = np.asarray(list(fractions.values()))
     low_cut = float(np.quantile(values, low_quantile))
     high_cut = float(np.quantile(values, high_quantile))
 
-    def build(day: int) -> HeavyHitterDay:
-        bucket = days[day]
-        ranked = sorted(bucket["by_asn"].items(), key=lambda kv: -kv[1])[:top_ases]
+    def build(d: int) -> HeavyHitterDay:
+        ranked = sorted(by_asn.get(d, []), key=lambda kv: -kv[1])[:top_ases]
         return HeavyHitterDay(
-            day=day,
-            fraction_v6=fractions[day],
-            total_bytes=bucket["total"],
+            day=d,
+            fraction_v6=fractions[d],
+            total_bytes=int(day_total[d]),
             dominant_ases=tuple(ranked),
         )
 
-    low_days = [build(d) for d in sorted(days) if fractions[d] <= low_cut]
-    high_days = [build(d) for d in sorted(days) if fractions[d] >= high_cut]
+    low_days = [build(d) for d in present if fractions[d] <= low_cut]
+    high_days = [build(d) for d in present if fractions[d] >= high_cut]
     return low_days, high_days
 
 
@@ -287,15 +304,17 @@ def protocol_mix(
     dataset: ResidenceDataset, scope: FlowScope = FlowScope.EXTERNAL
 ) -> dict[str, ProtocolMix]:
     """Traffic composition per family ("IPv4"/"IPv6") and protocol."""
+    frame = dataset.frame().select(scope=scope)
+    proto_names = {p.value: p.name for p in Protocol}
+    keys = frame.family.astype(np.int64) * 256 + frame.protocol
+    uniq, counts, (volumes,) = group_sums(keys, [frame.total_bytes])
     bytes_by: dict[str, dict[str, int]] = {"IPv4": {}, "IPv6": {}}
     flows_by: dict[str, dict[str, int]] = {"IPv4": {}, "IPv6": {}}
-    for record in dataset.monitor.records(scope=scope):
-        family = "IPv6" if record.key.is_v6 else "IPv4"
-        protocol = record.key.protocol.name
-        bytes_by[family][protocol] = (
-            bytes_by[family].get(protocol, 0) + record.total_bytes
-        )
-        flows_by[family][protocol] = flows_by[family].get(protocol, 0) + 1
+    for key, count, volume in zip(uniq, counts, volumes):
+        family = "IPv6" if (int(key) >> 8) == 6 else "IPv4"
+        protocol = proto_names[int(key) & 0xFF]
+        bytes_by[family][protocol] = int(volume)
+        flows_by[family][protocol] = int(count)
     return {
         family: ProtocolMix(
             family=family,
@@ -328,33 +347,25 @@ def as_traffic_breakdown(
 ) -> list[AsTrafficEntry]:
     """Per-AS external traffic, dropping ASes below ``min_volume_share``
     of the residence's bytes (the paper's 0.01% cut)."""
-    routing = dataset.universe.routing
     registry = dataset.universe.registry
-    monitor = dataset.monitor
-    per_asn: dict[int, list[int]] = {}
-    grand_total = 0
-    for record in dataset.external_records():
-        peer = monitor.external_peer(record)
-        if peer is None:
-            continue
-        asn = routing.origin_of(peer)
-        if asn is None:
-            continue
-        bucket = per_asn.setdefault(asn, [0, 0])
-        volume = record.total_bytes
-        bucket[0] += volume
-        grand_total += volume
-        if record.key.is_v6:
-            bucket[1] += volume
+    frame = dataset.frame().select(scope=FlowScope.EXTERNAL)
+    asn = frame.flow_asn
+    attributed = asn >= 0
+    volume = frame.total_bytes[attributed]
+    v6_volume = volume * frame.is_v6[attributed]
+    uniq, _, (totals, v6_totals) = group_sums(asn[attributed], [volume, v6_volume])
+    grand_total = int(totals.sum())
     threshold = grand_total * min_volume_share
     entries = []
-    for asn, (total, v6) in per_asn.items():
+    for asn_value, total, v6 in zip(uniq, totals, v6_totals):
         if total < threshold:
             continue
-        info = registry.lookup(asn)
+        info = registry.lookup(int(asn_value))
         if info is None:
             continue
-        entries.append(AsTrafficEntry(info=info, total_bytes=total, v6_bytes=v6))
+        entries.append(
+            AsTrafficEntry(info=info, total_bytes=int(total), v6_bytes=int(v6))
+        )
     entries.sort(key=lambda e: e.total_bytes, reverse=True)
     return entries
 
@@ -404,24 +415,21 @@ class DomainTrafficEntry:
 
 def domain_traffic_breakdown(dataset: ResidenceDataset) -> list[DomainTrafficEntry]:
     """Per-domain (rDNS eTLD+1) external traffic at one residence."""
-    rdns = dataset.universe.rdns
-    monitor = dataset.monitor
-    psl = default_psl()
-    per_domain: dict[str, list[int]] = {}
-    for record in dataset.external_records():
-        peer = monitor.external_peer(record)
-        if peer is None:
-            continue
-        domain = rdns.lookup_etld1(peer, psl)
-        if domain is None:
-            continue
-        bucket = per_domain.setdefault(domain, [0, 0])
-        bucket[0] += record.total_bytes
-        if record.key.is_v6:
-            bucket[1] += record.total_bytes
+    frame = dataset.frame().select(scope=FlowScope.EXTERNAL)
+    domain_id = frame.flow_domain
+    resolved = domain_id >= 0
+    volume = frame.total_bytes[resolved]
+    v6_volume = volume * frame.is_v6[resolved]
+    uniq, _, (totals, v6_totals) = group_sums(
+        domain_id[resolved], [volume, v6_volume]
+    )
     entries = [
-        DomainTrafficEntry(domain=domain, total_bytes=total, v6_bytes=v6)
-        for domain, (total, v6) in per_domain.items()
+        DomainTrafficEntry(
+            domain=frame.domains[int(index)],
+            total_bytes=int(total),
+            v6_bytes=int(v6),
+        )
+        for index, total, v6 in zip(uniq, totals, v6_totals)
     ]
     entries.sort(key=lambda e: e.total_bytes, reverse=True)
     return entries

@@ -60,11 +60,20 @@ def attribute_domains(
     "by the AS that originates the BGP prefix containing the domain's IP
     address", mapped to organizations via the AS-to-Org dataset."""
 
+    # The crawl resolves the same provider addresses for thousands of
+    # FQDNs; memoize the trie walk + org lookup per unique address.
+    org_cache: dict[IpAddress, Organization | None] = {}
+
     def org_of(addresses: tuple[IpAddress, ...]) -> Organization | None:
         if not addresses:
             return None
-        asn = routing.origin_of(addresses[0])
-        return registry.organization_of(asn) if asn is not None else None
+        address = addresses[0]
+        if address in org_cache:
+            return org_cache[address]
+        asn = routing.origin_of(address)
+        org = registry.organization_of(asn) if asn is not None else None
+        org_cache[address] = org
+        return org
 
     views: dict[str, DomainCloudView] = {}
     for record in dataset.all_requests():
@@ -209,6 +218,12 @@ def cloud_pair_heatmap(
     effect size r, then Holm-Bonferroni corrected at ``alpha``.
     """
     org_names = sorted({org for by_org in tenants.values() for org in by_org})
+    # Each tenant's per-org IPv6-full fraction is pair-independent;
+    # compute it once instead of once per org pair.
+    tenant_fractions: list[dict[str, float]] = [
+        {org: sum(flags) / len(flags) for org, flags in by_org.items()}
+        for by_org in tenants.values()
+    ]
     raw: list[CloudPairComparison] = []
     corrector = HolmBonferroni(alpha=alpha)
     testable_indices: list[int] = []
@@ -216,10 +231,10 @@ def cloud_pair_heatmap(
         for org_b in org_names[i + 1 :]:
             first: list[float] = []
             second: list[float] = []
-            for by_org in tenants.values():
+            for by_org in tenant_fractions:
                 if org_a in by_org and org_b in by_org:
-                    first.append(sum(by_org[org_a]) / len(by_org[org_a]))
-                    second.append(sum(by_org[org_b]) / len(by_org[org_b]))
+                    first.append(by_org[org_a])
+                    second.append(by_org[org_b])
             differing = sum(1 for x, y in zip(first, second) if x != y)
             if differing < min_differing:
                 raw.append(

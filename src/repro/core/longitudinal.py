@@ -38,6 +38,7 @@ def run_snapshots(
     num_sites: int = 1500,
     seed: int = 42,
     drift_per_round: float = DEFAULT_DRIFT_PER_ROUND,
+    precomputed: dict[int, CensusBreakdown] | None = None,
 ) -> list[Snapshot]:
     """Crawl the same universe at successive adoption levels.
 
@@ -45,12 +46,24 @@ def run_snapshots(
     ``inclination_base``: the site population is identical; only the
     propensity to enable IPv6 has moved, as nine months of slow adoption
     would.
+
+    Args:
+        precomputed: optional ``round_index -> breakdown`` entries to
+            reuse instead of re-crawling that round.  Callers that have
+            already crawled an identically-configured universe (round 0
+            is the unchanged base population) pass its breakdown here;
+            the result is exactly what the crawl would have produced.
     """
     if drift_per_round < 0:
         raise ValueError("adoption drifts forward, not backward")
     snapshots = []
     base_config = WebEcosystemConfig(num_sites=num_sites, seed=seed)
     for round_index, label in enumerate(labels):
+        if precomputed is not None and round_index in precomputed:
+            snapshots.append(
+                Snapshot(label=label, breakdown=precomputed[round_index])
+            )
+            continue
         config = replace(
             base_config,
             inclination_base=base_config.inclination_base

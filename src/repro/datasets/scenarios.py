@@ -61,6 +61,7 @@ def build_residence_study(
     num_days: int = BENCH_TRAFFIC_DAYS,
     seed: int = 42,
     residences: tuple[str, ...] | None = None,
+    parallel: bool | int | None = None,
 ) -> ResidenceStudy:
     """Generate the five-residence traffic study (paper section 3).
 
@@ -68,6 +69,8 @@ def build_residence_study(
         num_days: observation length; 273 reproduces the paper window.
         seed: scenario seed (whole study is deterministic in it).
         residences: restrict to a subset of "A".."E" (all by default).
+        parallel: fan residences out over worker processes (``None``
+            auto-detects; results are identical to the sequential path).
     """
     universe = ServiceUniverse(build_service_catalog())
     generator = TrafficGenerator(universe, seed=seed)
@@ -77,7 +80,7 @@ def build_residence_study(
         profiles = [p for p in profiles if p.name in wanted]
         if not profiles:
             raise ValueError(f"no residences match {residences!r}")
-    datasets = generator.generate_all(profiles, num_days=num_days)
+    datasets = generator.generate_all(profiles, num_days=num_days, parallel=parallel)
     return ResidenceStudy(universe=universe, datasets=datasets, num_days=num_days)
 
 

@@ -66,6 +66,17 @@ class FlowKey:
             for port in (self.sport, self.dport):
                 if not 0 <= port <= 0xFFFF:
                     raise ValueError(f"port {port} out of range")
+        # Keys are hashed on every conntrack table operation (new /
+        # account / destroy); precompute once instead of recursively
+        # hashing the nested dataclasses per lookup.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.protocol.value, self.src, self.dst, self.sport, self.dport, self.icmp)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def family(self) -> Family:

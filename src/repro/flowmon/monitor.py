@@ -62,11 +62,24 @@ class FlowMonitor:
 
     Wire it to a :class:`ConntrackTable` with :meth:`attach`; every DESTROY
     event lands in ``daily_logs[day][scope]``.
+
+    Reads are cached: :meth:`records` memoizes each ``(scope, day)``
+    concatenation (the analysis layer's 26 artifacts used to pay a full
+    O(total flows) list rebuild per call) and :meth:`frame` memoizes the
+    columnar :class:`~repro.flowmon.frame.FlowFrame` view.  Both caches
+    are invalidated whenever :meth:`observe` logs a new flow.
     """
 
     config: RouterConfig
     daily_logs: dict[int, dict[FlowScope, list[FlowRecord]]] = field(default_factory=dict)
     records_seen: int = 0
+    #: Bumped on every :meth:`observe`; cheap staleness stamp for callers
+    #: (e.g. ``ResidenceDataset``) holding derived views of this log.
+    version: int = 0
+    _records_cache: dict[tuple, list[FlowRecord]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _frame_cache: object = field(default=None, repr=False, compare=False)
 
     def attach(self, table: ConntrackTable) -> None:
         table.subscribe(self._on_event)
@@ -83,6 +96,10 @@ class FlowMonitor:
         day = day_index(record.start_time)
         self.daily_logs.setdefault(day, {}).setdefault(scope, []).append(record)
         self.records_seen += 1
+        self.version += 1
+        if self._records_cache:
+            self._records_cache.clear()
+        self._frame_cache = None
         return scope
 
     def classify(self, record: FlowRecord) -> FlowScope:
@@ -97,7 +114,15 @@ class FlowMonitor:
     def records(
         self, scope: FlowScope | None = None, day: int | None = None
     ) -> list[FlowRecord]:
-        """All logged records, optionally filtered by scope and/or day."""
+        """All logged records, optionally filtered by scope and/or day.
+
+        The returned list is a cached view -- treat it as read-only.  It
+        is rebuilt automatically after the next :meth:`observe`.
+        """
+        key = (scope, day)
+        cached = self._records_cache.get(key)
+        if cached is not None:
+            return cached
         days = [day] if day is not None else sorted(self.daily_logs)
         found: list[FlowRecord] = []
         for d in days:
@@ -105,7 +130,18 @@ class FlowMonitor:
             scopes = [scope] if scope is not None else list(FlowScope)
             for s in scopes:
                 found.extend(per_scope.get(s, []))
+        self._records_cache[key] = found
         return found
+
+    def frame(self):
+        """The columnar :class:`~repro.flowmon.frame.FlowFrame` view of
+        this log (core columns only, no attribution), built once and
+        invalidated on :meth:`observe`."""
+        if self._frame_cache is None:
+            from repro.flowmon.frame import FlowFrame
+
+            self._frame_cache = FlowFrame.from_monitor(self)
+        return self._frame_cache
 
     def observed_days(self) -> list[int]:
         return sorted(self.daily_logs)

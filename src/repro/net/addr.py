@@ -51,6 +51,13 @@ class IpAddress:
             raise ValueError(
                 f"address value {self.value:#x} out of range for {self.family}"
             )
+        # Addresses key the conntrack table (inside FlowKey) millions of
+        # times per generated study; precompute the hash once instead of
+        # re-hashing the (enum, int) field tuple on every dict operation.
+        object.__setattr__(self, "_hash", hash((self.family.value, self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def parse(cls, text: str) -> "IpAddress":
@@ -99,16 +106,22 @@ class Prefix:
             raise ValueError(
                 f"prefix length {self.length} invalid for {self.address.family}"
             )
-        if self.address.value & ~self._mask():
+        # Containment checks run once per generated flow; fix the mask at
+        # construction rather than re-deriving it per call.
+        object.__setattr__(self, "_mask_value", self._compute_mask())
+        if self.address.value & ~self._mask_value:
             raise ValueError(
                 f"host bits set in prefix {self.address}/{self.length}"
             )
 
-    def _mask(self) -> int:
+    def _compute_mask(self) -> int:
         bits = self.address.family.bits
         if self.length == 0:
             return 0
         return ((1 << self.length) - 1) << (bits - self.length)
+
+    def _mask(self) -> int:
+        return self._mask_value
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
@@ -136,7 +149,7 @@ class Prefix:
     def contains(self, address: IpAddress) -> bool:
         if address.family is not self.family:
             return False
-        return (address.value & self._mask()) == self.address.value
+        return (address.value & self._mask_value) == self.address.value
 
     def covers(self, other: "Prefix") -> bool:
         """True if every address in ``other`` is inside this prefix."""

@@ -49,12 +49,21 @@ class DnsError(Exception):
     """Raised for malformed zone data, not for resolution failures."""
 
 
+#: Memo for :func:`normalize_name` -- resolution paths canonicalize the
+#: same names hundreds of thousands of times per crawl.
+_NORMALIZED: dict[str, str] = {}
+
+
 def normalize_name(name: str) -> str:
     """Canonicalize a domain name: lowercase, no trailing dot.
 
     Raises:
         DnsError: for empty names or empty labels (``a..b``).
     """
+    cached = _NORMALIZED.get(name)
+    if cached is not None:
+        return cached
+    raw = name
     name = name.strip().rstrip(".").lower()
     if not name:
         raise DnsError("empty domain name")
@@ -63,6 +72,7 @@ def normalize_name(name: str) -> str:
             raise DnsError(f"empty label in domain name {name!r}")
         if len(label) > 63:
             raise DnsError(f"label too long in domain name {name!r}")
+    _NORMALIZED[raw] = name
     return name
 
 
@@ -94,9 +104,14 @@ class Zone:
 
     origin: str
     _records: dict[tuple[str, DnsRecordType], list[DnsRecord]] = field(default_factory=dict)
+    #: How many (name, rtype) keys exist per name -- keeps name existence
+    #: checks O(1) instead of scanning every key in the zone.
+    _name_keys: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.origin = normalize_name(self.origin)
+        for name, _ in self._records:
+            self._name_keys[name] = self._name_keys.get(name, 0) + 1
 
     def add(self, name: str, rtype: DnsRecordType, value: IpAddress | str) -> DnsRecord:
         """Add a record; the name must fall inside the zone origin.
@@ -112,16 +127,25 @@ class Zone:
             raise DnsError(f"CNAME at {record.name} conflicts with existing records")
         if rtype is not DnsRecordType.CNAME and (record.name, DnsRecordType.CNAME) in self._records:
             raise DnsError(f"{record.name} already has a CNAME; no other types allowed")
-        self._records.setdefault((record.name, rtype), []).append(record)
+        key = (record.name, rtype)
+        if key not in self._records:
+            self._name_keys[record.name] = self._name_keys.get(record.name, 0) + 1
+        self._records.setdefault(key, []).append(record)
         return record
 
     def _has_any_record(self, name: str) -> bool:
-        return any(key[0] == name for key in self._records)
+        return name in self._name_keys
 
     def remove(self, name: str, rtype: DnsRecordType) -> int:
         """Remove all records of ``rtype`` at ``name``; returns the count."""
         name = normalize_name(name)
         removed = self._records.pop((name, rtype), [])
+        if removed:
+            remaining = self._name_keys.get(name, 0) - 1
+            if remaining > 0:
+                self._name_keys[name] = remaining
+            else:
+                self._name_keys.pop(name, None)
         return len(removed)
 
     def name_exists(self, name: str) -> bool:

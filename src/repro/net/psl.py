@@ -80,9 +80,20 @@ def _rule_matches(rule: _Rule, labels: tuple[str, ...]) -> bool:
 
 @dataclass
 class PublicSuffixList:
-    """A PSL engine over a set of rules."""
+    """A PSL engine over a set of rules.
+
+    Lookups are memoized per input string: rule matching is pure in the
+    rule set, and the census/crawler paths resolve the same domains many
+    thousands of times.  :meth:`add_rule` invalidates the caches.
+    """
 
     rules: list[_Rule] = field(default_factory=list)
+    _suffix_cache: dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _etld_cache: dict[str, str | None] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def from_rules(cls, rules: tuple[str, ...] | list[str]) -> "PublicSuffixList":
@@ -90,9 +101,14 @@ class PublicSuffixList:
 
     def add_rule(self, rule: str) -> None:
         self.rules.append(_parse_rule(rule))
+        self._suffix_cache.clear()
+        self._etld_cache.clear()
 
     def public_suffix(self, domain: str) -> str:
         """The public suffix of ``domain`` per the PSL algorithm."""
+        cached = self._suffix_cache.get(domain)
+        if cached is not None:
+            return cached
         labels = tuple(domain.strip().rstrip(".").lower().split("."))
         if not all(labels):
             raise ValueError(f"malformed domain {domain!r}")
@@ -114,17 +130,24 @@ class PublicSuffixList:
         else:
             suffix_len = 1  # implicit "*" rule
         suffix_len = min(suffix_len, len(labels))
-        return ".".join(labels[-suffix_len:])
+        suffix = ".".join(labels[-suffix_len:])
+        self._suffix_cache[domain] = suffix
+        return suffix
 
     def etld_plus_one(self, domain: str) -> str | None:
         """The registrable domain (eTLD+1), or ``None`` when ``domain``
         is itself a public suffix (nothing is registrable)."""
+        if domain in self._etld_cache:
+            return self._etld_cache[domain]
         labels = tuple(domain.strip().rstrip(".").lower().split("."))
         suffix = self.public_suffix(domain)
         suffix_len = len(suffix.split("."))
         if len(labels) <= suffix_len:
-            return None
-        return ".".join(labels[-(suffix_len + 1):])
+            result = None
+        else:
+            result = ".".join(labels[-(suffix_len + 1):])
+        self._etld_cache[domain] = result
+        return result
 
     def same_site(self, domain_a: str, domain_b: str) -> bool:
         """True when both names share an eTLD+1 (the paper's same-site test

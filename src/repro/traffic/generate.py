@@ -15,7 +15,13 @@ race.  That is what makes the downstream analyses meaningful.
 
 from __future__ import annotations
 
+import errno
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.flowmon.conntrack import ConntrackTable, FlowKey, IcmpInfo, Protocol
 from repro.flowmon.monitor import FlowMonitor, FlowScope, RouterConfig
@@ -36,6 +42,9 @@ from repro.traffic.residences import ResidenceProfile
 from repro.traffic.universe import ServerEndpoint, ServiceUniverse
 from repro.util.rng import RngStream
 from repro.util.timeutil import DAY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flowmon.frame import FlowFrame
 
 #: Download (server-to-client) share of a flow's bytes, by application.
 INBOUND_FRACTION: dict[ApplicationKind, float] = {
@@ -101,6 +110,13 @@ ICMP_PROBE_PROB = 0.05
 SLOW_AAAA_PROB = 0.08
 SLOW_AAAA_LATENCY = 0.200
 
+#: OSError errnos that mean "this environment cannot run a process pool"
+#: (fork/semaphore denied or resources exhausted) rather than a bug in
+#: the generation code itself.
+_POOL_UNAVAILABLE_ERRNOS = frozenset(
+    {errno.EPERM, errno.EACCES, errno.ENOSYS, errno.EAGAIN, errno.ENOMEM, errno.EMFILE, errno.ENFILE}
+)
+
 
 @dataclass
 class ResidenceDataset:
@@ -118,6 +134,8 @@ class ResidenceDataset:
     universe: ServiceUniverse
     num_days: int
     devices: list[Device] = field(default_factory=list)
+    _frame: "FlowFrame | None" = field(default=None, repr=False, compare=False)
+    _frame_version: int = field(default=-1, repr=False, compare=False)
 
     def external_records(self):
         return self.monitor.records(scope=FlowScope.EXTERNAL)
@@ -125,9 +143,30 @@ class ResidenceDataset:
     def internal_records(self):
         return self.monitor.records(scope=FlowScope.INTERNAL)
 
+    def frame(self) -> "FlowFrame":
+        """The attributed columnar view of this residence's flow log.
+
+        Built once (core columns from the monitor, AS/domain attribution
+        resolved per unique external peer against this dataset's
+        universe) and cached; rebuilt only if the monitor logs new flows.
+        """
+        monitor = self.monitor
+        if self._frame is None or self._frame_version != monitor.version:
+            frame = monitor.frame().with_attribution(
+                self.universe.routing, self.universe.rdns
+            )
+            self._frame = frame
+            self._frame_version = monitor.version
+        return self._frame
+
 
 class TrafficGenerator:
     """Synthesizes flow datasets for residences against one universe."""
+
+    #: Ephemeral source-port range; reset per residence so a residence's
+    #: flows are identical whether it is generated alone, sequentially
+    #: after others, or on a worker process.
+    SPORT_BASE = 20000
 
     def __init__(
         self,
@@ -137,9 +176,10 @@ class TrafficGenerator:
     ) -> None:
         self.universe = universe or ServiceUniverse(build_service_catalog())
         self.seed = seed
+        self._he_config = he_config
         self._he = HappyEyeballs(he_config)
         self._services = {s.name: s for s in self.universe.catalog}
-        self._sport = 20000
+        self._sport = self.SPORT_BASE
 
     # -- public API -----------------------------------------------------
 
@@ -147,6 +187,7 @@ class TrafficGenerator:
         """Generate ``num_days`` of traffic for one residence."""
         if num_days < 1:
             raise ValueError("num_days must be >= 1")
+        self._sport = self.SPORT_BASE
         devices = profile.build_devices()
         monitor = FlowMonitor(
             RouterConfig(name=profile.name, lan_v4=profile.lan_v4, lan_v6=profile.lan_v6)
@@ -183,10 +224,79 @@ class TrafficGenerator:
         )
 
     def generate_all(
-        self, profiles: list[ResidenceProfile], num_days: int
+        self,
+        profiles: list[ResidenceProfile],
+        num_days: int,
+        parallel: bool | int | None = None,
     ) -> dict[str, ResidenceDataset]:
-        """Generate datasets for several residences (shared universe)."""
+        """Generate datasets for several residences (shared universe).
+
+        Args:
+            profiles: residences to generate, in output (dict) order.
+            num_days: observation length for every residence.
+            parallel: ``None`` (default) fans residences out across a
+                :class:`~concurrent.futures.ProcessPoolExecutor` when the
+                machine has more than one CPU; ``True`` forces processes,
+                an ``int`` picks the worker count, and ``False``/``0``/
+                ``1`` stays sequential.  Results are identical either
+                way: every residence draws from its own seeded RNG
+                substream and allocates source ports from its own range,
+                so generation order cannot leak between residences.  If a
+                pool cannot be created or breaks (sandboxes, missing
+                semaphores), generation silently falls back to the
+                sequential path.
+        """
+        workers = self._resolve_workers(parallel, len(profiles))
+        if workers > 1:
+            try:
+                return self._generate_all_parallel(profiles, num_days, workers)
+            except (BrokenProcessPool, pickle.PicklingError):
+                pass  # pool unavailable in this environment; run inline
+            except OSError as exc:
+                # Only treat process-spawning failures (sandboxes denying
+                # fork/semaphores, fd/memory exhaustion) as "no pool
+                # here"; a genuine OSError raised *by* generation code
+                # must propagate, not silently retry sequentially.
+                if exc.errno not in _POOL_UNAVAILABLE_ERRNOS:
+                    raise
         return {p.name: self.generate(p, num_days) for p in profiles}
+
+    @staticmethod
+    def _resolve_workers(parallel: bool | int | None, num_profiles: int) -> int:
+        cpus = os.cpu_count() or 1
+        if parallel is None:
+            wanted = cpus if cpus > 1 else 1
+        elif parallel is True:
+            wanted = cpus
+        elif parallel is False:
+            wanted = 1
+        else:
+            wanted = int(parallel)
+        return max(1, min(wanted, num_profiles))
+
+    def _generate_all_parallel(
+        self, profiles: list[ResidenceProfile], num_days: int, workers: int
+    ) -> dict[str, ResidenceDataset]:
+        tasks = [
+            (self.universe.catalog, self.seed, self._he_config, profile, num_days)
+            for profile in profiles
+        ]
+        datasets: dict[str, ResidenceDataset] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for profile, (name, monitor, devices) in zip(
+                profiles, pool.map(_generate_residence, tasks)
+            ):
+                # Workers rebuild an identical universe from the catalog;
+                # rebind to the parent's so every dataset shares one
+                # attribution substrate (registry identity included).
+                datasets[name] = ResidenceDataset(
+                    profile=profile,
+                    monitor=monitor,
+                    universe=self.universe,
+                    num_days=num_days,
+                    devices=devices,
+                )
+        return datasets
 
     # -- session machinery ------------------------------------------------
 
@@ -404,3 +514,25 @@ class TrafficGenerator:
                     bytes_in=volume - volume // 2,
                 )
                 start += rng.exponential(10.0)
+
+
+def _generate_residence(
+    task: tuple[
+        list[ServiceProfile], int, HappyEyeballsConfig | None, ResidenceProfile, int
+    ],
+) -> tuple[str, FlowMonitor, list[Device]]:
+    """Worker-process entry: generate one residence from first principles.
+
+    Rebuilds the (deterministic) service universe from the pickled
+    catalog, so only the catalog, profile, and scalars cross the process
+    boundary on the way in and only the monitor and devices on the way
+    out.  Because every residence draws from the RNG substream
+    ``(seed, "residence:<name>")``, the result is bit-identical to the
+    sequential path.
+    """
+    catalog, seed, he_config, profile, num_days = task
+    generator = TrafficGenerator(
+        ServiceUniverse(catalog), seed=seed, he_config=he_config
+    )
+    dataset = generator.generate(profile, num_days)
+    return profile.name, dataset.monitor, dataset.devices

@@ -84,6 +84,25 @@ class TestRngStream:
             stream.weighted_choice([], [])
         with pytest.raises(ValueError):
             stream.weighted_choice([1, 2], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            # positive total but a negative entry: would build a
+            # non-monotonic CDF if not rejected up front
+            stream.weighted_choice([1, 2, 3], [3.0, -1.0, 2.0])
+
+    def test_weighted_choice_matches_generator_choice(self):
+        """The inverse-CDF fast path must consume the stream exactly like
+        the Generator.choice(n, p=...) it replaced (twin streams, one
+        drawing each way, must agree draw for draw)."""
+        import numpy as np
+
+        weights = [3.0, 1.0, 2.0, 4.0]
+        probs = np.asarray(weights) / sum(weights)
+        a = RngStream(7, "x")
+        b = RngStream(7, "x")
+        for _ in range(200):
+            got = a.weighted_choice([0, 1, 2, 3], weights)
+            want = int(b._gen.choice(4, p=probs))
+            assert got == want
 
     def test_weighted_choice_respects_zero_weight(self):
         stream = RngStream(1)
