@@ -99,6 +99,12 @@ def census_views(census):
     return record_phase("build:cloud", lambda: SESSION.cloud)
 
 
+@pytest.fixture(scope="session")
+def observatory(census):
+    """Probe rounds from the vantage fleet over the census universe."""
+    return record_phase("build:observatory", lambda: SESSION.observatory)
+
+
 @pytest.fixture()
 def report():
     return emit

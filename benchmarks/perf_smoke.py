@@ -11,9 +11,15 @@ across PR artifacts.
 Usage::
 
     python benchmarks/perf_smoke.py [--days 14] [--sites 300]
-        [--budget 300] [--output benchmarks/results/BENCH_results.json]
+        [--budget 300] [--max-regression 0.25]
+        [--output benchmarks/results/BENCH_results.json]
 
-Exits non-zero when total wall time exceeds ``--budget`` seconds.
+Exits non-zero when total wall time exceeds ``--budget`` seconds, or --
+when ``--max-regression`` is given and the run matches the committed
+:data:`SMOKE_REFERENCE` scale -- when ``total_wall_s`` regressed more
+than that fraction over the reference.  The absolute budget catches
+catastrophic slowdowns; the relative gate catches the gradual ones that
+used to slip through it.
 """
 
 from __future__ import annotations
@@ -29,6 +35,17 @@ from pathlib import Path
 
 from repro.api import Study, StudyConfig, registry
 
+#: The committed perf trajectory anchor for the smoke scale.  Update it
+#: deliberately (with a PR that explains the new cost) whenever the
+#: pipeline legitimately grows; CI fails any run at this scale whose
+#: ``total_wall_s`` exceeds it by more than ``--max-regression``.
+SMOKE_REFERENCE = {
+    "label": "full pipeline + all artifacts (observatory included); ~5-6 s "
+    "measured, anchored at 8 s for shared-runner variance",
+    "config": {"days": 14, "sites": 300},
+    "total_wall_s": 8.0,
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -39,6 +56,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=300.0,
         help="fail if total wall time exceeds this many seconds",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="fail if total_wall_s exceeds the committed SMOKE_REFERENCE "
+        "by more than this fraction (only enforced when --days/--sites "
+        "match the reference scale)",
     )
     parser.add_argument(
         "--output",
@@ -79,6 +104,9 @@ def main(argv: list[str] | None = None) -> int:
         "phases": {name: round(seconds, 4) for name, seconds in sorted(phases.items())},
         "total_wall_s": round(total, 3),
         "budget_s": args.budget,
+        # Distinct key from the benchmark harness's per-phase "reference"
+        # block: both writers share this file path and schema tag.
+        "smoke_reference": SMOKE_REFERENCE,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -92,6 +120,29 @@ def main(argv: list[str] | None = None) -> int:
     if total > args.budget:
         print("perf-smoke: FAILED -- over budget", file=sys.stderr)
         return 1
+    if args.max_regression is not None:
+        reference_config = SMOKE_REFERENCE["config"]
+        if {"days": args.days, "sites": args.sites} != reference_config:
+            print(
+                "perf-smoke: regression gate skipped -- scale "
+                f"{args.days}d/{args.sites} does not match the committed "
+                f"reference {reference_config['days']}d/{reference_config['sites']}"
+            )
+            return 0
+        limit = SMOKE_REFERENCE["total_wall_s"] * (1.0 + args.max_regression)
+        print(
+            f"perf-smoke: reference {SMOKE_REFERENCE['total_wall_s']:.1f}s "
+            f"-> limit {limit:.1f}s (+{args.max_regression:.0%}), "
+            f"measured {total:.1f}s"
+        )
+        if total > limit:
+            print(
+                f"perf-smoke: FAILED -- total_wall_s {total:.1f}s regressed "
+                f"more than {args.max_regression:.0%} over the committed "
+                f"reference {SMOKE_REFERENCE['total_wall_s']:.1f}s",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

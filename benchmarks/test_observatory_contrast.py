@@ -1,0 +1,125 @@
+"""Observatory benches: the binary tables and the three-way contrast.
+
+The observatory produces the *binary* availability numbers prior work
+reports, so the paper's thesis can be rendered as one table: per
+country, "IPv6 available" (binary, vantage-policy dependent) next to
+graded census readiness and the traffic study's actual IPv6 byte
+fraction -- three answers to "how adopted is IPv6?" that visibly
+disagree.
+"""
+
+from repro.observatory import (
+    country_availability,
+    policy_verdicts,
+    takeoff_series,
+    three_way_contrast,
+)
+from repro.observatory.vantage import NetworkPolicy
+from repro.util.tables import TextTable, render_series
+
+
+def test_observatory_availability(observatory, benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: country_availability(observatory), rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        ["country", "vantages", "probes", "AAAA seen", "v6 available",
+         "client used v6"],
+        title="Observatory: per-country IPv6 availability (all rounds)",
+    )
+    for row in rows:
+        table.add_row([
+            row.country, row.vantages, row.probes,
+            f"{row.aaaa_share:.1%}", f"{row.available_share:.1%}",
+            f"{row.client_v6_share:.1%}",
+        ])
+    report("obs_availability", table.render())
+
+    assert [r.country for r in rows] == list(observatory.countries)
+    shares = [r.available_share for r in rows]
+    # The same universe yields different binary answers per country.
+    assert max(shares) - min(shares) > 0.2
+
+
+def test_observatory_takeoff(observatory, benchmark, report):
+    series = benchmark.pedantic(
+        lambda: takeoff_series(observatory), rounds=1, iterations=1
+    )
+
+    days = [float(d) for d in series.days]
+    lines = [render_series("overall", days, list(series.overall))]
+    lines.extend(
+        render_series(country, days, list(shares))
+        for country, shares in series.by_country.items()
+    )
+    report("obs_takeoff", "\n".join(lines))
+
+    assert len(series.overall) == observatory.num_rounds
+    assert all(0.0 <= share <= 1.0 for share in series.overall)
+    # The takeoff: mid-window adopters lift availability where the
+    # vantage can see real AAAA records...
+    assert series.overall[-1] > series.overall[0]
+    assert series.by_country["NL"][-1] > series.by_country["NL"][0]
+    # ...while v4-only transit stays pinned at zero forever.
+    assert all(share == 0.0 for share in series.by_country["ZA"])
+
+
+def test_observatory_policies(observatory, benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: policy_verdicts(observatory), rounds=1, iterations=1
+    )
+
+    table = TextTable(
+        ["policy", "vantages", "probes", "available", "top verdicts"],
+        title="Observatory: probe verdicts by network policy",
+    )
+    for entry in rows:
+        top = sorted(entry.verdict_counts.items(), key=lambda kv: -kv[1])[:3]
+        table.add_row([
+            entry.policy.value, entry.vantages, entry.probes,
+            f"{entry.available_share:.1%}",
+            ", ".join(f"{v.name}={c}" for v, c in top),
+        ])
+    report("obs_policies", table.render())
+
+    by_policy = {entry.policy: entry for entry in rows}
+    # NAT64 overcounts native; v4-only transit reports zero.
+    assert (
+        by_policy[NetworkPolicy.NAT64].available_share
+        > by_policy[NetworkPolicy.NATIVE].available_share
+    )
+    assert by_policy[NetworkPolicy.V4_ONLY].available_share == 0.0
+
+
+def test_three_way_contrast(observatory, census, residence_study, benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: three_way_contrast(observatory, census.dataset, residence_study),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["country", "binary: v6 available", "graded: full", "graded: partial",
+         "graded: v4-only", "usage: v6 byte share"],
+        title="Three-way contrast: binary availability vs graded readiness "
+        "vs actual usage",
+    )
+    for row in rows:
+        table.add_row([
+            row.country, f"{row.available_share:.1%}",
+            f"{row.census_full_share:.1%}", f"{row.census_partial_share:.1%}",
+            f"{row.census_v4only_share:.1%}",
+            f"{row.traffic_v6_byte_fraction:.1%}",
+        ])
+    report("contrast", table.render())
+
+    assert rows
+    shares = [row.available_share for row in rows]
+    # Binary answers disagree across countries...
+    assert max(shares) - min(shares) > 0.2
+    # ...while the graded and usage columns are country-independent truths.
+    assert len({row.census_full_share for row in rows}) == 1
+    assert len({row.traffic_v6_byte_fraction for row in rows}) == 1
+    # And the binary check overstates full readiness somewhere (NAT64).
+    assert any(row.binary_minus_graded > 0.2 for row in rows)

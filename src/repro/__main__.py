@@ -7,7 +7,7 @@ registry (every figure and table, text or JSON)::
     python -m repro list
     python -m repro table1 --days 60
     python -m repro table2 table3 --sites 4000          # census built once
-    python -m repro all --days 60 --sites 2000
+    python -m repro all --scale bench                   # calibrated preset
     python -m repro fig5 --format json
     python -m repro fig13@days=160 table1 --days 28     # per-artifact scale
 """
@@ -20,12 +20,16 @@ import json
 import sys
 
 from repro.api import Study, StudyConfig, jsonify, registry
+from repro.datasets.scenarios import SCALE_PRESETS
 
 #: Keywords accepted alongside registered artifact names.
 _META = ("all", "list")
 
 #: StudyConfig fields overridable per artifact via ``name@key=value,...``.
-_OVERRIDE_KEYS = ("days", "sites", "seed", "link_clicks", "parallel")
+_OVERRIDE_KEYS = (
+    "days", "sites", "seed", "link_clicks", "parallel",
+    "probe_targets", "probe_interval_days",
+)
 
 
 def parse_artifact_spec(value: str) -> tuple[str, dict[str, int]]:
@@ -74,16 +78,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact names ('list' to enumerate, 'all' for everything); "
         "append @key=value,... for per-artifact scale overrides",
     )
-    parser.add_argument("--days", type=int, default=28,
-                        help="traffic observation days (paper: 273)")
-    parser.add_argument("--sites", type=int, default=1500,
-                        help="census top-list size (paper: 100000)")
+    parser.add_argument(
+        "--scale",
+        choices=tuple(SCALE_PRESETS),
+        default="cli",
+        help="calibrated (days, sites) preset from repro.datasets.scenarios: "
+        + "; ".join(
+            f"{p.name} = {p.days}d/{p.sites} sites ({p.purpose})"
+            for p in SCALE_PRESETS.values()
+        )
+        + " -- explicit --days/--sites override the preset",
+    )
+    parser.add_argument("--days", type=int, default=None,
+                        help="traffic observation days (paper: 273); "
+                        "overrides --scale")
+    parser.add_argument("--sites", type=int, default=None,
+                        help="census top-list size (paper: 100000); "
+                        "overrides --scale")
     parser.add_argument("--seed", type=int, default=42, help="scenario seed")
     parser.add_argument("--link-clicks", type=int, default=5,
                         help="same-site link clicks per crawled site")
     parser.add_argument("--parallel", type=int, default=None,
-                        help="traffic-generation worker processes "
-                        "(default: auto-detect; 0 or 1 forces sequential)")
+                        help="worker processes for the traffic and observatory "
+                        "fan-outs (default: auto-detect; 0 or 1 forces "
+                        "sequential)")
+    parser.add_argument("--probe-targets", type=int, default=500,
+                        help="top-ranked sites each observatory vantage probes")
+    parser.add_argument("--probe-interval-days", type=int, default=14,
+                        help="days between observatory probe rounds")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     return parser
@@ -131,13 +153,16 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_list(args.format))
         return 0
 
+    preset = SCALE_PRESETS[args.scale]
     try:
         base = StudyConfig(
-            days=args.days,
-            sites=args.sites,
+            days=args.days if args.days is not None else preset.days,
+            sites=args.sites if args.sites is not None else preset.sites,
             seed=args.seed,
             link_clicks=args.link_clicks,
             parallel=args.parallel,
+            probe_targets=args.probe_targets,
+            probe_interval_days=args.probe_interval_days,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -7,6 +7,8 @@ they read:
 * :mod:`repro.api.artifacts.traffic` -- section 3, the client-side view.
 * :mod:`repro.api.artifacts.census` -- section 4, website readiness.
 * :mod:`repro.api.artifacts.cloud` -- section 5, cloud adoption.
+* :mod:`repro.api.artifacts.observatory` -- the binary availability
+  perspective (per-country vantage probes) and the three-way contrast.
 """
 
-from repro.api.artifacts import census, cloud, traffic  # noqa: F401
+from repro.api.artifacts import census, cloud, observatory, traffic  # noqa: F401

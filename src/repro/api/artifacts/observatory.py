@@ -1,0 +1,284 @@
+"""Observatory artifacts: the binary perspective, and the contrast.
+
+These read ``study.observatory`` (the active-measurement layer probing
+the census universe from the per-country vantage fleet); the headline
+``contrast`` artifact additionally reads ``study.census`` and
+``study.traffic`` to place binary availability, graded readiness, and
+actual usage side by side -- the paper's non-binary argument as one
+table.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import ArtifactResult, artifact
+from repro.api.session import Study
+from repro.observatory.analysis import (
+    country_availability,
+    policy_verdicts,
+    site_spread,
+    takeoff_series,
+    three_way_contrast,
+)
+from repro.observatory.probe import ProbeVerdict
+from repro.util.tables import TextTable, render_series
+
+
+@artifact(
+    "obs_vantages",
+    needs=("observatory",),
+    title="Observatory — vantage fleet",
+    paper="Section 2 (prior-work methodology)",
+)
+def obs_vantages(study: Study) -> ArtifactResult:
+    """The probing fleet: per-vantage country, policy, and knobs."""
+    obs = study.observatory
+    table = TextTable(
+        ["vantage", "country", "policy", "v6 RTT", "policy knob"],
+        title="Observatory — vantage fleet",
+    )
+    rows = []
+    for vantage in obs.fleet:
+        knob = ""
+        if vantage.aaaa_loss_rate:
+            knob = f"AAAA loss {vantage.aaaa_loss_rate:.0%}"
+        elif vantage.pmtu_blackhole_rate:
+            knob = f"PMTU blackhole {vantage.pmtu_blackhole_rate:.0%}"
+        elif vantage.block_rate:
+            knob = f"v6 blocked for {vantage.block_rate:.0%} of targets"
+        table.add_row([
+            vantage.name, vantage.country, vantage.policy.value,
+            f"{vantage.v6_latency * 1000:.0f} ms", knob or "-",
+        ])
+        rows.append({
+            "vantage": vantage.name,
+            "country": vantage.country,
+            "policy": vantage.policy.value,
+            "v6_latency": vantage.v6_latency,
+            "aaaa_loss_rate": vantage.aaaa_loss_rate,
+            "pmtu_blackhole_rate": vantage.pmtu_blackhole_rate,
+            "block_rate": vantage.block_rate,
+        })
+    return ArtifactResult(
+        columns=(
+            "vantage", "country", "policy", "v6_latency",
+            "aaaa_loss_rate", "pmtu_blackhole_rate", "block_rate",
+        ),
+        rows=rows,
+        metadata={
+            "targets": len(obs.targets),
+            "rounds": obs.num_rounds,
+            "round_days": list(obs.config.round_days),
+        },
+        text=table.render(),
+    )
+
+
+@artifact(
+    "obs_availability",
+    needs=("observatory",),
+    title="Observatory — per-country IPv6 availability",
+    paper="after arXiv:2204.09539",
+)
+def obs_availability(study: Study) -> ArtifactResult:
+    """The binary availability table a per-country observatory reports."""
+    obs = study.observatory
+    table = TextTable(
+        ["country", "vantages", "probes", "AAAA seen", "v6 available", "client used v6"],
+        title="Observatory — per-country IPv6 availability (all rounds)",
+    )
+    rows = []
+    for row in country_availability(obs):
+        table.add_row([
+            row.country, row.vantages, row.probes,
+            f"{row.aaaa_share:.1%}", f"{row.available_share:.1%}",
+            f"{row.client_v6_share:.1%}",
+        ])
+        rows.append({
+            "country": row.country,
+            "vantages": row.vantages,
+            "probes": row.probes,
+            "aaaa_share": row.aaaa_share,
+            "available_share": row.available_share,
+            "synthesized": row.synthesized,
+            "client_v6_share": row.client_v6_share,
+        })
+    return ArtifactResult(
+        columns=(
+            "country", "vantages", "probes", "aaaa_share",
+            "available_share", "synthesized", "client_v6_share",
+        ),
+        rows=rows,
+        text=table.render(),
+    )
+
+
+@artifact(
+    "obs_takeoff",
+    needs=("observatory",),
+    title="Observatory — availability takeoff curve",
+    paper="after arXiv:1402.3982",
+)
+def obs_takeoff(study: Study) -> ArtifactResult:
+    """Availability share per probe round, overall and per country."""
+    obs = study.observatory
+    series = takeoff_series(obs)
+    days = [float(d) for d in series.days]
+    lines = [render_series("overall", days, list(series.overall))]
+    lines.extend(
+        render_series(country, days, list(shares))
+        for country, shares in series.by_country.items()
+    )
+    rows = [
+        {
+            "round": index,
+            "day": day,
+            "overall": series.overall[index],
+            **{c: series.by_country[c][index] for c in series.by_country},
+        }
+        for index, day in enumerate(series.days)
+    ]
+    return ArtifactResult(
+        columns=("round", "day", "overall", *series.by_country),
+        rows=rows,
+        lines=lines,
+        metadata={
+            "countries": list(series.by_country),
+            "adoption_drift": obs.config.adoption_drift,
+        },
+        # Text renders the compact series form only; the table form of
+        # the same numbers lives in rows/columns for JSON consumers.
+        text="Observatory — availability takeoff curve\n" + "\n".join(lines),
+    )
+
+
+@artifact(
+    "obs_policies",
+    needs=("observatory",),
+    title="Observatory — verdicts by network policy",
+    paper="Section 6 (discussion)",
+)
+def obs_policies(study: Study) -> ArtifactResult:
+    """Why the binary answer moves: verdict taxonomy per access policy."""
+    obs = study.observatory
+    table = TextTable(
+        ["policy", "vantages", "probes", "available"]
+        + [verdict.name for verdict in ProbeVerdict],
+        title="Observatory — probe verdicts by network policy",
+    )
+    rows = []
+    for entry in policy_verdicts(obs):
+        table.add_row(
+            [entry.policy.value, entry.vantages, entry.probes,
+             f"{entry.available_share:.1%}"]
+            + [entry.verdict_counts.get(verdict, 0) for verdict in ProbeVerdict]
+        )
+        rows.append({
+            "policy": entry.policy.value,
+            "vantages": entry.vantages,
+            "probes": entry.probes,
+            "available_share": entry.available_share,
+            "verdicts": {v.name: c for v, c in entry.verdict_counts.items()},
+        })
+    return ArtifactResult(
+        columns=("policy", "vantages", "probes", "available_share", "verdicts"),
+        rows=rows,
+        text=table.render(),
+    )
+
+
+@artifact(
+    "obs_sites",
+    needs=("observatory",),
+    title="Observatory — cross-country site agreement",
+    paper="Section 6 (discussion)",
+)
+def obs_sites(study: Study) -> ArtifactResult:
+    """How many countries agree a site "has IPv6" (final round)."""
+    obs = study.observatory
+    spread = site_spread(obs)
+    table = TextTable(
+        ["available from k countries", "sites"],
+        title="Observatory — cross-country agreement (final round)",
+    )
+    rows = []
+    for k, count in enumerate(spread.histogram):
+        if count:
+            table.add_row([k, count])
+        rows.append({"countries_available": k, "sites": count})
+    lines = [
+        f"unanimous yes: {spread.unanimous_yes}   "
+        f"unanimous no: {spread.unanimous_no}   "
+        f"contested: {spread.contested} of {spread.sites}",
+    ]
+    return ArtifactResult(
+        columns=("countries_available", "sites"),
+        rows=rows,
+        lines=lines,
+        metadata={
+            "countries": spread.countries,
+            "sites": spread.sites,
+            "unanimous_yes": spread.unanimous_yes,
+            "unanimous_no": spread.unanimous_no,
+            "contested": spread.contested,
+        },
+        text=table.render() + "\n" + lines[0],
+    )
+
+
+@artifact(
+    "contrast",
+    needs=("observatory", "census", "traffic"),
+    title="Three-way contrast — availability vs readiness vs usage",
+    paper="the paper's thesis, rendered",
+)
+def contrast(study: Study) -> ArtifactResult:
+    """Binary availability vs graded readiness vs IPv6 usage, per country."""
+    obs = study.observatory
+    rows_data = three_way_contrast(obs, study.census.dataset, study.traffic)
+    table = TextTable(
+        [
+            "country", "binary: v6 available", "graded: full", "graded: partial",
+            "graded: v4-only", "usage: v6 byte share",
+        ],
+        title="Three-way contrast — binary availability vs graded readiness "
+        "vs actual usage",
+    )
+    rows = []
+    for row in rows_data:
+        table.add_row([
+            row.country, f"{row.available_share:.1%}",
+            f"{row.census_full_share:.1%}", f"{row.census_partial_share:.1%}",
+            f"{row.census_v4only_share:.1%}",
+            f"{row.traffic_v6_byte_fraction:.1%}",
+        ])
+        rows.append({
+            "country": row.country,
+            "probes": row.probes,
+            "available_share": row.available_share,
+            "census_full_share": row.census_full_share,
+            "census_partial_share": row.census_partial_share,
+            "census_v4only_share": row.census_v4only_share,
+            "traffic_v6_byte_fraction": row.traffic_v6_byte_fraction,
+            "binary_minus_graded": row.binary_minus_graded,
+        })
+    spread_max = max((r.available_share for r in rows_data), default=0.0)
+    spread_min = min((r.available_share for r in rows_data), default=0.0)
+    footer = (
+        f"binary answers span {spread_min:.1%}..{spread_max:.1%} across "
+        "countries for the *same* sites; graded readiness and usage are "
+        "single truths the binary check cannot express"
+    )
+    return ArtifactResult(
+        columns=(
+            "country", "probes", "available_share", "census_full_share",
+            "census_partial_share", "census_v4only_share",
+            "traffic_v6_byte_fraction", "binary_minus_graded",
+        ),
+        rows=rows,
+        metadata={
+            "binary_spread": [spread_min, spread_max],
+            "targets": len(obs.targets),
+            "final_round_day": obs.config.round_days[-1],
+        },
+        text=table.render() + "\n" + footer,
+    )

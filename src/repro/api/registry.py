@@ -27,9 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.session import Study
 
 #: The layers a renderer may declare in ``needs``.  ``"cloud"`` implies
-#: the census (attribution runs over the crawl), and ``"dependencies"``
-#: is the memoized section-4.3 analysis of the census.
-LAYERS = frozenset({"traffic", "census", "cloud", "dependencies"})
+#: the census (attribution runs over the crawl), ``"dependencies"`` is
+#: the memoized section-4.3 analysis of the census, and
+#: ``"observatory"`` is the active-measurement layer probing the census
+#: universe from the per-country vantage fleet.
+LAYERS = frozenset({"traffic", "census", "cloud", "dependencies", "observatory"})
 
 
 def jsonify(value: Any) -> Any:

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.registry import ArtifactResult
     from repro.core.cloudstats import DomainCloudView
     from repro.core.deps import DependencyAnalysis
+    from repro.observatory.rounds import ObservatoryStudy
 
 #: How many times each layer has actually been *built* (cache misses).
 #: Tests assert on deltas of this counter to prove memoization works.
@@ -46,6 +47,7 @@ _TRAFFIC_CACHE: dict[tuple, ResidenceStudy] = {}
 _CENSUS_CACHE: dict[tuple, CensusStudy] = {}
 _CLOUD_CACHE: dict[tuple, dict] = {}
 _DEPS_CACHE: dict[tuple, Any] = {}
+_OBSERVATORY_CACHE: dict[tuple, Any] = {}
 
 
 def clear_caches() -> None:
@@ -54,6 +56,7 @@ def clear_caches() -> None:
     _CENSUS_CACHE.clear()
     _CLOUD_CACHE.clear()
     _DEPS_CACHE.clear()
+    _OBSERVATORY_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -64,12 +67,17 @@ class StudyConfig:
     (154 days, 4000 sites); the paper scale is ``days=273``,
     ``sites=100_000``.
 
-    ``parallel`` controls traffic generation only: ``None`` (default)
-    auto-enables a process pool on multi-core machines, ``False`` forces
-    the sequential path, an ``int`` pins the worker count.  It does not
-    key the caches -- parallel and sequential builds are bit-identical
-    (each residence draws from its own seeded RNG substream), so they
-    share cache entries.
+    ``parallel`` controls the process-pool fan-outs (traffic generation
+    and observatory probe rounds): ``None`` (default) auto-enables a
+    pool on multi-core machines, ``False`` forces the sequential path,
+    an ``int`` pins the worker count.  It does not key the caches --
+    parallel and sequential builds are bit-identical (every residence
+    and every vantage point draws from its own seeded RNG substream), so
+    they share cache entries.
+
+    ``probe_targets`` / ``probe_interval_days`` scale the observatory
+    layer only: how many top-ranked sites every vantage probes, and how
+    many days apart the probe rounds run across the ``days`` window.
     """
 
     days: int = BENCH_TRAFFIC_DAYS
@@ -78,6 +86,8 @@ class StudyConfig:
     link_clicks: int = 5
     residences: tuple[str, ...] | None = None
     parallel: bool | int | None = None
+    probe_targets: int = 500
+    probe_interval_days: int = 14
 
     def __post_init__(self) -> None:
         if self.days < 1:
@@ -86,6 +96,10 @@ class StudyConfig:
             raise ValueError("sites must be >= 1")
         if self.link_clicks < 0:
             raise ValueError("link_clicks must be >= 0")
+        if self.probe_targets < 1:
+            raise ValueError("probe_targets must be >= 1")
+        if self.probe_interval_days < 1:
+            raise ValueError("probe_interval_days must be >= 1")
         if self.residences is not None:
             object.__setattr__(self, "residences", tuple(sorted(self.residences)))
 
@@ -100,6 +114,16 @@ class StudyConfig:
     @property
     def census_key(self) -> tuple:
         return ("census", self.sites, self.seed, self.link_clicks)
+
+    @property
+    def observatory_key(self) -> tuple:
+        return (
+            "observatory",
+            self.census_key,
+            self.days,
+            self.probe_targets,
+            self.probe_interval_days,
+        )
 
 
 class Study:
@@ -130,6 +154,7 @@ class Study:
         self._census: CensusStudy | None = None
         self._cloud: dict[str, "DomainCloudView"] | None = None
         self._deps: "DependencyAnalysis | None" = None
+        self._observatory: "ObservatoryStudy | None" = None
 
     @classmethod
     def from_prebuilt(
@@ -231,6 +256,44 @@ class Study:
             self._deps = _DEPS_CACHE[key]
         return self._deps
 
+    @property
+    def observatory(self) -> "ObservatoryStudy":
+        """The active-measurement observatory over the census universe.
+
+        Probe rounds run across the study's ``days`` window against the
+        top ``probe_targets`` sites, from the default per-country
+        vantage fleet; built lazily (the census ecosystem is the ground
+        truth being probed) and cached per configuration like every
+        other layer.
+        """
+        if self._observatory is None:
+            from repro.observatory.rounds import ObservatoryConfig, run_observatory
+
+            key = self.config.observatory_key
+            if self._prebuilt or key not in _OBSERVATORY_CACHE:
+                census = self.census
+                self._say(
+                    f"# probing {min(self.config.probe_targets, self.config.sites)}"
+                    " sites from the vantage fleet ..."
+                )
+                BUILD_COUNTS["observatory"] += 1
+                study = run_observatory(
+                    census.ecosystem,
+                    ObservatoryConfig(
+                        num_days=self.config.days,
+                        probe_interval_days=self.config.probe_interval_days,
+                        max_targets=self.config.probe_targets,
+                        seed=self.config.seed,
+                        parallel=self.config.parallel,
+                    ),
+                )
+                if self._prebuilt:
+                    self._observatory = study
+                    return self._observatory
+                _OBSERVATORY_CACHE[key] = study
+            self._observatory = _OBSERVATORY_CACHE[key]
+        return self._observatory
+
     def artifact(self, name: str, **params: Any) -> "ArtifactResult":
         """Run one registered artifact against this study."""
         from repro.api import registry
@@ -252,6 +315,7 @@ class Study:
                 ("census", self._census),
                 ("cloud", self._cloud),
                 ("dependencies", self._deps),
+                ("observatory", self._observatory),
             )
             if value is not None
         ]

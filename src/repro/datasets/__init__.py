@@ -3,7 +3,12 @@
 from repro.datasets.scenarios import (
     BENCH_CENSUS_SITES,
     BENCH_TRAFFIC_DAYS,
+    CLI_CENSUS_SITES,
+    CLI_TRAFFIC_DAYS,
+    PAPER_CENSUS_SITES,
     PAPER_OBSERVATION_DAYS,
+    SCALE_PRESETS,
+    ScalePreset,
     build_census,
     build_residence_study,
     census_scenario,
@@ -13,7 +18,12 @@ from repro.datasets.scenarios import (
 __all__ = [
     "BENCH_CENSUS_SITES",
     "BENCH_TRAFFIC_DAYS",
+    "CLI_CENSUS_SITES",
+    "CLI_TRAFFIC_DAYS",
+    "PAPER_CENSUS_SITES",
     "PAPER_OBSERVATION_DAYS",
+    "SCALE_PRESETS",
+    "ScalePreset",
     "build_census",
     "build_residence_study",
     "census_scenario",

@@ -26,11 +26,42 @@ from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
 #: The paper observes November 2024 through August 2025.
 PAPER_OBSERVATION_DAYS = 273
 
+#: The paper crawls the Tranco top-100k.
+PAPER_CENSUS_SITES = 100_000
+
 #: Bench scale: long enough for MSTL's weekly component and spring break.
 BENCH_TRAFFIC_DAYS = 154  # 22 weeks, covering the day-135 vacation
 
 #: Bench scale for the census (the paper crawls 100k sites).
 BENCH_CENSUS_SITES = 4000
+
+#: CLI default scale: seconds-fast sanity runs.
+CLI_TRAFFIC_DAYS = 28
+CLI_CENSUS_SITES = 1500
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One named (days, sites) scale from the README's calibration table."""
+
+    name: str
+    days: int
+    sites: int
+    purpose: str
+
+
+#: The calibrated scales, addressable by name (``--scale`` on the CLI).
+SCALE_PRESETS: dict[str, ScalePreset] = {
+    preset.name: preset
+    for preset in (
+        ScalePreset("cli", CLI_TRAFFIC_DAYS, CLI_CENSUS_SITES,
+                    "seconds-fast sanity runs"),
+        ScalePreset("bench", BENCH_TRAFFIC_DAYS, BENCH_CENSUS_SITES,
+                    "reproduces every table/figure shape in minutes"),
+        ScalePreset("paper", PAPER_OBSERVATION_DAYS, PAPER_CENSUS_SITES,
+                    "the paper's nine-month window and 100k-site crawl"),
+    )
+}
 
 
 @dataclass

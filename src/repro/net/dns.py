@@ -259,6 +259,10 @@ class Resolver:
     def clear_failure(self, name: str) -> None:
         self._forced_failures.pop(normalize_name(name), None)
 
+    def forced_failures(self) -> dict[str, DnsStatus]:
+        """A copy of the injected failures (for derived resolver views)."""
+        return dict(self._forced_failures)
+
     def resolve(self, name: str, rtype: DnsRecordType) -> DnsResponse:
         """Resolve ``name`` for ``rtype``, following CNAME chains."""
         name = normalize_name(name)

@@ -1,0 +1,129 @@
+"""Vantage points: where the observatory probes *from*.
+
+The binary "is IPv6 available?" answer prior work reports is not a
+property of the target alone -- it is a property of the (vantage,
+target) pair.  A NAT64-only eyeball network synthesizes AAAA records and
+happily "reaches" IPv4-only sites over IPv6; an enterprise v4-only
+transit answers "no" for everything; a broken-PMTU path answers "yes"
+at the SYN and then stalls.  Each :class:`VantagePoint` therefore
+carries a country, a :class:`NetworkPolicy`, and the policy's knobs, and
+every vantage draws from its own seeded RNG substream so probe rounds
+are reproducible and order-independent.
+
+The fleet shape (AAAA lookup + TCP/443 handshake per target, aggregated
+per country) follows the longitudinal observatories this subsystem
+models: IXP-viewpoint takeoff measurements (arXiv:1402.3982) and the
+per-country acceleration study (arXiv:2204.09539).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+
+
+class NetworkPolicy(enum.Enum):
+    """The access-network archetype a vantage point sits behind."""
+
+    #: Clean native dual stack: probes see the target's true records.
+    NATIVE = "native"
+    #: No IPv6 route at all: every v6 handshake fails at the first hop.
+    V4_ONLY = "v4-only"
+    #: DNS64/NAT64 eyeball network: the resolver synthesizes AAAA from A,
+    #: so "IPv6 works" even against IPv4-only targets (the overcount).
+    NAT64 = "nat64"
+    #: IPv6 SYNs succeed but large packets blackhole (broken PMTUD), so
+    #: the handshake completes and the transfer dies (the false "yes").
+    BROKEN_PMTU = "broken-pmtu"
+    #: Per-target policy firewall: a deterministic subset of targets has
+    #: IPv6 blocked (national/enterprise filtering).
+    POLICY_BLOCK = "policy-block"
+    #: Flaky resolver that times out AAAA queries with some probability,
+    #: making dual-stack targets look IPv4-only (the undercount).
+    LOSSY_RESOLVER = "lossy-resolver"
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One probing location with its network policy and latency profile.
+
+    Attributes:
+        name: unique fleet-wide identifier (``de-fra-1``).
+        country: ISO-style country code the vantage aggregates under.
+        policy: the access-network archetype (see :class:`NetworkPolicy`).
+        v4_latency / v6_latency: median handshake latency per family.
+        aaaa_loss_rate: probability a AAAA query times out
+            (``LOSSY_RESOLVER`` only).
+        pmtu_blackhole_rate: probability a completed v6 handshake stalls
+            on the first full-size packet (``BROKEN_PMTU`` only).
+        block_rate: share of targets with IPv6 administratively blocked
+            (``POLICY_BLOCK`` only).
+    """
+
+    name: str
+    country: str
+    policy: NetworkPolicy
+    v4_latency: float = 0.032
+    v6_latency: float = 0.028
+    aaaa_loss_rate: float = 0.0
+    pmtu_blackhole_rate: float = 0.0
+    block_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.country:
+            raise ValueError("vantage points need a name and a country")
+        if self.v4_latency <= 0 or self.v6_latency <= 0:
+            raise ValueError("latencies must be positive")
+        for rate in (self.aaaa_loss_rate, self.pmtu_blackhole_rate, self.block_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("policy rates must be probabilities")
+
+    def blocks_target(self, etld1: str) -> bool:
+        """Deterministic per-target IPv6 block (``POLICY_BLOCK`` only).
+
+        Hash-based rather than drawn from the probe RNG so the blocked
+        set is a stable property of the vantage, identical across rounds
+        and across the parallel/sequential round runners.
+        """
+        if self.policy is not NetworkPolicy.POLICY_BLOCK or self.block_rate <= 0.0:
+            return False
+        return (derive_seed(0, f"{self.name}|block|{etld1}") % 10_000) < (
+            self.block_rate * 10_000
+        )
+
+
+def build_vantage_fleet() -> tuple[VantagePoint, ...]:
+    """The default per-country fleet, one access-network archetype each.
+
+    Countries with two vantages (US, DE) let the per-country aggregation
+    average over heterogeneous access networks, which is exactly how the
+    per-country availability numbers in prior work hide policy effects.
+    """
+    return (
+        VantagePoint("us-nyc-1", "US", NetworkPolicy.NATIVE,
+                     v4_latency=0.024, v6_latency=0.022),
+        VantagePoint("us-sea-1", "US", NetworkPolicy.V4_ONLY,
+                     v4_latency=0.030, v6_latency=0.030),
+        VantagePoint("de-fra-1", "DE", NetworkPolicy.NATIVE,
+                     v4_latency=0.028, v6_latency=0.025),
+        VantagePoint("de-ber-1", "DE", NetworkPolicy.LOSSY_RESOLVER,
+                     v4_latency=0.031, v6_latency=0.029, aaaa_loss_rate=0.15),
+        VantagePoint("nl-ams-1", "NL", NetworkPolicy.NATIVE,
+                     v4_latency=0.027, v6_latency=0.024),
+        VantagePoint("jp-tyo-1", "JP", NetworkPolicy.NAT64,
+                     v4_latency=0.046, v6_latency=0.041),
+        VantagePoint("in-bom-1", "IN", NetworkPolicy.NAT64,
+                     v4_latency=0.058, v6_latency=0.052),
+        VantagePoint("br-sao-1", "BR", NetworkPolicy.BROKEN_PMTU,
+                     v4_latency=0.052, v6_latency=0.049, pmtu_blackhole_rate=0.35),
+        VantagePoint("fr-par-1", "FR", NetworkPolicy.NATIVE,
+                     v4_latency=0.029, v6_latency=0.026),
+        VantagePoint("au-syd-1", "AU", NetworkPolicy.LOSSY_RESOLVER,
+                     v4_latency=0.071, v6_latency=0.066, aaaa_loss_rate=0.08),
+        VantagePoint("cn-pek-1", "CN", NetworkPolicy.POLICY_BLOCK,
+                     v4_latency=0.064, v6_latency=0.060, block_rate=0.25),
+        VantagePoint("za-jnb-1", "ZA", NetworkPolicy.V4_ONLY,
+                     v4_latency=0.082, v6_latency=0.082),
+    )

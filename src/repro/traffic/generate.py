@@ -15,11 +15,6 @@ race.  That is what makes the downstream analyses meaningful.
 
 from __future__ import annotations
 
-import errno
-import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -40,6 +35,7 @@ from repro.traffic.apps import (
 from repro.traffic.devices import Device
 from repro.traffic.residences import ResidenceProfile
 from repro.traffic.universe import ServerEndpoint, ServiceUniverse
+from repro.util.procpool import map_in_pool, resolve_worker_count
 from repro.util.rng import RngStream
 from repro.util.timeutil import DAY
 
@@ -109,13 +105,6 @@ ICMP_PROBE_PROB = 0.05
 #: Probability the AAAA answer arrives too late for the resolution delay.
 SLOW_AAAA_PROB = 0.08
 SLOW_AAAA_LATENCY = 0.200
-
-#: OSError errnos that mean "this environment cannot run a process pool"
-#: (fork/semaphore denied or resources exhausted) rather than a bug in
-#: the generation code itself.
-_POOL_UNAVAILABLE_ERRNOS = frozenset(
-    {errno.EPERM, errno.EACCES, errno.ENOSYS, errno.EAGAIN, errno.ENOMEM, errno.EMFILE, errno.ENFILE}
-)
 
 
 @dataclass
@@ -243,60 +232,37 @@ class TrafficGenerator:
                 substream and allocates source ports from its own range,
                 so generation order cannot leak between residences.  If a
                 pool cannot be created or breaks (sandboxes, missing
-                semaphores), generation silently falls back to the
-                sequential path.
+                semaphores), generation warns once
+                (:func:`repro.util.procpool.warn_pool_fallback`) and
+                falls back to the sequential path.
         """
         workers = self._resolve_workers(parallel, len(profiles))
-        if workers > 1:
-            try:
-                return self._generate_all_parallel(profiles, num_days, workers)
-            except (BrokenProcessPool, pickle.PicklingError):
-                pass  # pool unavailable in this environment; run inline
-            except OSError as exc:
-                # Only treat process-spawning failures (sandboxes denying
-                # fork/semaphores, fd/memory exhaustion) as "no pool
-                # here"; a genuine OSError raised *by* generation code
-                # must propagate, not silently retry sequentially.
-                if exc.errno not in _POOL_UNAVAILABLE_ERRNOS:
-                    raise
-        return {p.name: self.generate(p, num_days) for p in profiles}
-
-    @staticmethod
-    def _resolve_workers(parallel: bool | int | None, num_profiles: int) -> int:
-        cpus = os.cpu_count() or 1
-        if parallel is None:
-            wanted = cpus if cpus > 1 else 1
-        elif parallel is True:
-            wanted = cpus
-        elif parallel is False:
-            wanted = 1
-        else:
-            wanted = int(parallel)
-        return max(1, min(wanted, num_profiles))
-
-    def _generate_all_parallel(
-        self, profiles: list[ResidenceProfile], num_days: int, workers: int
-    ) -> dict[str, ResidenceDataset]:
         tasks = [
             (self.universe.catalog, self.seed, self._he_config, profile, num_days)
             for profile in profiles
         ]
+        results = map_in_pool(
+            _generate_residence, tasks, workers, "traffic generation"
+        )
+        if results is None:
+            return {p.name: self.generate(p, num_days) for p in profiles}
         datasets: dict[str, ResidenceDataset] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for profile, (name, monitor, devices) in zip(
-                profiles, pool.map(_generate_residence, tasks)
-            ):
-                # Workers rebuild an identical universe from the catalog;
-                # rebind to the parent's so every dataset shares one
-                # attribution substrate (registry identity included).
-                datasets[name] = ResidenceDataset(
-                    profile=profile,
-                    monitor=monitor,
-                    universe=self.universe,
-                    num_days=num_days,
-                    devices=devices,
-                )
+        for profile, (name, monitor, devices) in zip(profiles, results):
+            # Workers rebuild an identical universe from the catalog;
+            # rebind to the parent's so every dataset shares one
+            # attribution substrate (registry identity included).
+            datasets[name] = ResidenceDataset(
+                profile=profile,
+                monitor=monitor,
+                universe=self.universe,
+                num_days=num_days,
+                devices=devices,
+            )
         return datasets
+
+    @staticmethod
+    def _resolve_workers(parallel: bool | int | None, num_profiles: int) -> int:
+        return resolve_worker_count(parallel, num_profiles)
 
     # -- session machinery ------------------------------------------------
 

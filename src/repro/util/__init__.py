@@ -5,6 +5,12 @@ These helpers are deliberately dependency-light so that every substrate
 idioms for randomness, empirical statistics, and simulated time.
 """
 
+from repro.util.procpool import (
+    POOL_UNAVAILABLE_ERRNOS,
+    map_in_pool,
+    resolve_worker_count,
+    warn_pool_fallback,
+)
 from repro.util.rng import RngStream, derive_seed
 from repro.util.stats import (
     BoxStats,
@@ -31,6 +37,10 @@ from repro.util.timeutil import (
 )
 
 __all__ = [
+    "POOL_UNAVAILABLE_ERRNOS",
+    "map_in_pool",
+    "resolve_worker_count",
+    "warn_pool_fallback",
     "RngStream",
     "derive_seed",
     "BoxStats",

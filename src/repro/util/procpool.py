@@ -1,0 +1,120 @@
+"""Process-pool fallback reporting shared by the parallel fan-outs.
+
+Both parallel generators (traffic residences, observatory vantage
+points) fall back to their sequential path when the host cannot run a
+:class:`~concurrent.futures.ProcessPoolExecutor` (sandboxes denying
+fork or semaphores, fd/memory exhaustion).  The fallback used to be
+silent, so ``parallel=4`` on a sandboxed host *looked* honoured while
+quietly running inline; :func:`warn_pool_fallback` makes it a one-time
+:class:`RuntimeWarning` per context instead.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence
+
+#: OSError errnos that mean "this environment cannot run a process pool"
+#: (fork/semaphore denied or resources exhausted) rather than a bug in
+#: the parallelized code itself.
+POOL_UNAVAILABLE_ERRNOS = frozenset(
+    {
+        errno.EPERM,
+        errno.EACCES,
+        errno.ENOSYS,
+        errno.EAGAIN,
+        errno.ENOMEM,
+        errno.EMFILE,
+        errno.ENFILE,
+    }
+)
+
+#: Contexts that have already warned this process.
+_WARNED: set[str] = set()
+
+
+def warn_pool_fallback(context: str, reason: BaseException | str) -> None:
+    """Emit a one-time-per-context warning that a pool fell back inline.
+
+    Args:
+        context: which fan-out degraded (``"traffic generation"``).
+        reason: the triggering exception (or a description).
+    """
+    if context in _WARNED:
+        return
+    _WARNED.add(context)
+    warnings.warn(
+        f"{context}: process pool unavailable ({reason!s} "
+        f"[{type(reason).__name__ if isinstance(reason, BaseException) else 'info'}]); "
+        "falling back to the sequential path -- results are identical, "
+        "but the requested parallelism is not in effect",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_pool_fallback_warnings() -> None:
+    """Forget which contexts warned (test isolation hook)."""
+    _WARNED.clear()
+
+
+def resolve_worker_count(parallel: bool | int | None, num_tasks: int) -> int:
+    """Worker-process count for a fan-out of ``num_tasks`` independent tasks.
+
+    ``None`` auto-detects (processes only on multi-core machines),
+    ``True`` uses every CPU, ``False``/``0``/``1`` force the sequential
+    path, and an ``int`` pins the count; never more workers than tasks.
+    """
+    cpus = os.cpu_count() or 1
+    if parallel is None:
+        wanted = cpus if cpus > 1 else 1
+    elif parallel is True:
+        wanted = cpus
+    elif parallel is False:
+        wanted = 1
+    else:
+        wanted = int(parallel)
+    return max(1, min(wanted, num_tasks))
+
+
+def map_in_pool(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int,
+    context: str,
+    initializer: Callable[..., None] | None = None,
+    initargs: Iterable[Any] = (),
+) -> list[Any] | None:
+    """``pool.map(fn, tasks)`` with the shared degrade-to-inline contract.
+
+    Returns the results in task order, or ``None`` when this environment
+    cannot run a process pool (pool creation or dispatch failed) -- after
+    emitting the one-time :func:`warn_pool_fallback` warning -- so the
+    caller runs its sequential path instead.  An :class:`OSError` whose
+    errno is *not* in :data:`POOL_UNAVAILABLE_ERRNOS` is a bug in the
+    parallelized code itself and propagates.
+
+    ``initializer``/``initargs`` follow the executor's semantics: use
+    them to ship large shared state once per worker instead of once per
+    task.
+    """
+    if workers <= 1 or not tasks:
+        return None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=tuple(initargs)
+        ) as pool:
+            return list(pool.map(fn, tasks))
+    except (BrokenProcessPool, pickle.PicklingError) as exc:
+        warn_pool_fallback(context, exc)
+        return None
+    except OSError as exc:
+        if exc.errno not in POOL_UNAVAILABLE_ERRNOS:
+            raise
+        warn_pool_fallback(context, exc)
+        return None

@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import build_parser, main, parse_artifact_spec
 from repro.api import BUILD_COUNTS, registry
+from repro.datasets.scenarios import SCALE_PRESETS
 
 
 class TestParsing:
@@ -29,6 +30,42 @@ class TestParsing:
         args = build_parser().parse_args(["table1", "fig5@sites=100", "--days", "3"])
         assert args.artifacts == ["table1", "fig5@sites=100"]
         assert args.days == 3
+
+
+class TestScalePresets:
+    def test_presets_match_scenarios_calibration(self):
+        assert SCALE_PRESETS["cli"].days == 28
+        assert SCALE_PRESETS["cli"].sites == 1500
+        assert SCALE_PRESETS["bench"].days == 154
+        assert SCALE_PRESETS["bench"].sites == 4000
+        assert SCALE_PRESETS["paper"].days == 273
+        assert SCALE_PRESETS["paper"].sites == 100_000
+
+    def test_default_scale_is_cli(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "cli"
+        assert args.days is None and args.sites is None
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+    def test_scale_expands_to_preset_config(self, capsys):
+        code = main(["fig6", "--scale", "cli", "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["days"] == SCALE_PRESETS["cli"].days
+        assert doc["config"]["sites"] == SCALE_PRESETS["cli"].sites
+
+    def test_explicit_flags_override_preset(self, capsys):
+        code = main([
+            "fig6", "--scale", "paper", "--days", "5", "--sites", "120",
+            "--seed", "97", "--format", "json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"]["days"] == 5
+        assert doc["config"]["sites"] == 120
 
 
 class TestListCommand:

@@ -10,7 +10,7 @@ import importlib
 
 import pytest
 
-AGGREGATORS = ["repro.core", "repro.api", "repro.datasets"]
+AGGREGATORS = ["repro.core", "repro.api", "repro.datasets", "repro.observatory"]
 
 
 def _imported_names(module) -> set[str]:

@@ -1,0 +1,92 @@
+"""RFC 8305 edge cases the observatory policies exercise.
+
+Two boundary behaviours matter to probe verdicts and were previously
+unpinned: a AAAA answer landing *exactly* when the resolution delay
+expires (IPv6 must keep its head start -- the boundary is inclusive),
+and the all-attempts-fail path (the race must return a clean failure
+rather than a bogus winner, because that failure becomes the
+``V6_CONNECT_FAILED`` verdict).
+"""
+
+import pytest
+
+from repro.happyeyeballs.algorithm import (
+    AttemptOutcome,
+    HappyEyeballs,
+    HappyEyeballsConfig,
+    StaticConnectivity,
+)
+from repro.net.addr import Family, IpAddress
+
+V4 = IpAddress.parse("198.51.100.10")
+V6 = IpAddress.parse("2001:db8::10")
+
+CONFIG = HappyEyeballsConfig(resolution_delay=0.050, attempt_delay=0.250)
+
+
+class TestResolutionDelayBoundary:
+    def test_aaaa_exactly_at_resolution_delay_keeps_v6_first(self):
+        """AAAA at t = A-time + resolution_delay: v6 still leads."""
+        he = HappyEyeballs(CONFIG)
+        result = he.connect(
+            [V4], [V6], StaticConnectivity(),
+            v4_resolution_time=0.010,
+            v6_resolution_time=0.010 + CONFIG.resolution_delay,
+        )
+        assert result.connected
+        assert result.used_family is Family.V6
+        first = min(result.attempts, key=lambda a: a.start_time)
+        assert first.family is Family.V6
+        # Attempts start when the wait for the AAAA expired, not before.
+        assert first.start_time == pytest.approx(0.010 + CONFIG.resolution_delay)
+
+    def test_aaaa_just_after_resolution_delay_forfeits_head_start(self):
+        """One tick later the delay has expired and IPv4 leads."""
+        he = HappyEyeballs(CONFIG)
+        result = he.connect(
+            [V4], [V6], StaticConnectivity(),
+            v4_resolution_time=0.010,
+            v6_resolution_time=0.010 + CONFIG.resolution_delay + 1e-9,
+        )
+        assert result.connected
+        first = min(result.attempts, key=lambda a: a.start_time)
+        assert first.family is Family.V4
+        assert result.used_family is Family.V4
+
+
+class TestAllAttemptsFail:
+    def test_clean_failure_verdict(self):
+        """Every address unreachable: no winner, every attempt FAILED."""
+        he = HappyEyeballs(CONFIG)
+        result = he.connect(
+            [V4], [V6], StaticConnectivity(default_latency=None),
+        )
+        assert not result.connected
+        assert result.winner is None
+        assert result.used_family is None
+        assert result.connect_time is None
+        assert len(result.attempts) == 2  # both SYNs left the host
+        assert all(a.outcome is AttemptOutcome.FAILED for a in result.attempts)
+        assert result.attempted_families() == {Family.V4, Family.V6}
+
+    def test_v6_only_all_fail_is_clean(self):
+        """The observatory's availability race: v6-only, all timeouts."""
+        he = HappyEyeballs(CONFIG)
+        result = he.connect(
+            [], [V6, IpAddress.parse("2001:db8::11")],
+            StaticConnectivity(default_latency=None),
+        )
+        assert not result.connected
+        assert result.connect_time is None
+        assert all(a.outcome is AttemptOutcome.FAILED for a in result.attempts)
+        assert all(a.family is Family.V6 for a in result.attempts)
+
+    def test_success_after_overall_timeout_is_not_a_winner(self):
+        """A handshake completing past the overall timeout does not win."""
+        config = HappyEyeballsConfig(overall_timeout=1.0)
+        he = HappyEyeballs(config)
+        result = he.connect(
+            [], [V6], StaticConnectivity(default_latency=5.0),
+        )
+        assert not result.connected
+        assert result.connect_time is None

@@ -1,0 +1,99 @@
+"""Aggregation invariants over a real (small) observatory run."""
+
+import pytest
+
+from repro.observatory.analysis import (
+    country_availability,
+    policy_verdicts,
+    site_spread,
+    takeoff_series,
+)
+from repro.observatory.probe import ProbeVerdict
+from repro.observatory.rounds import ObservatoryConfig, run_observatory
+from repro.observatory.vantage import NetworkPolicy
+from repro.web.ecosystem import WebEcosystem, WebEcosystemConfig
+
+
+@pytest.fixture(scope="module")
+def obs():
+    ecosystem = WebEcosystem(WebEcosystemConfig(num_sites=150, seed=3))
+    return run_observatory(
+        ecosystem,
+        ObservatoryConfig(
+            num_days=28, probe_interval_days=14, max_targets=100, seed=3,
+            parallel=False,
+        ),
+    )
+
+
+class TestCountryAvailability:
+    def test_partitions_and_ranges(self, obs):
+        rows = country_availability(obs)
+        assert [r.country for r in rows] == list(obs.countries)
+        assert sum(r.probes for r in rows) == len(obs.frame)
+        assert sum(r.vantages for r in rows) == len(obs.fleet)
+        for row in rows:
+            assert 0.0 <= row.available_share <= row.aaaa_share <= 1.0
+
+    def test_v4_only_country_is_zero(self, obs):
+        by_country = {r.country: r for r in country_availability(obs)}
+        # ZA's only vantage is v4-only transit: binary always says no.
+        assert by_country["ZA"].available == 0
+
+    def test_nat64_overcounts_native(self, obs):
+        by_country = {r.country: r for r in country_availability(obs)}
+        assert by_country["JP"].available_share > by_country["NL"].available_share
+        assert by_country["JP"].synthesized > 0
+
+
+class TestTakeoff:
+    def test_series_shape(self, obs):
+        series = takeoff_series(obs)
+        assert series.days == obs.config.round_days
+        assert len(series.overall) == obs.num_rounds
+        assert set(series.by_country) == set(obs.countries)
+        for shares in series.by_country.values():
+            assert len(shares) == obs.num_rounds
+            assert all(0.0 <= s <= 1.0 for s in shares)
+
+    def test_overall_is_probe_weighted_mean(self, obs):
+        series = takeoff_series(obs)
+        first_round = obs.frame.select(round_index=0)
+        expected = first_round.available.sum() / len(first_round)
+        assert series.overall[0] == pytest.approx(expected)
+
+
+class TestPolicyVerdicts:
+    def test_covers_fleet_and_probes(self, obs):
+        rows = policy_verdicts(obs)
+        assert {r.policy for r in rows} == {v.policy for v in obs.fleet}
+        assert sum(r.probes for r in rows) == len(obs.frame)
+        assert sum(r.vantages for r in rows) == len(obs.fleet)
+
+    def test_policy_signatures(self, obs):
+        by_policy = {r.policy: r for r in policy_verdicts(obs)}
+        v4only = by_policy[NetworkPolicy.V4_ONLY]
+        assert ProbeVerdict.V6_OK not in v4only.verdict_counts
+        assert ProbeVerdict.NO_V6_ROUTE in v4only.verdict_counts
+        nat64 = by_policy[NetworkPolicy.NAT64]
+        assert ProbeVerdict.NO_AAAA not in nat64.verdict_counts
+        broken = by_policy[NetworkPolicy.BROKEN_PMTU]
+        assert ProbeVerdict.V6_PATH_BROKEN in broken.verdict_counts
+
+
+class TestSiteSpread:
+    def test_histogram_partitions_sites(self, obs):
+        spread = site_spread(obs)
+        assert spread.sites == len(obs.targets)
+        assert sum(spread.histogram) == spread.sites
+        assert spread.unanimous_no == spread.histogram[0]
+        assert spread.unanimous_yes == spread.histogram[-1]
+        assert (
+            spread.contested
+            == spread.sites - spread.unanimous_yes - spread.unanimous_no
+        )
+
+    def test_binary_answers_disagree_across_countries(self, obs):
+        # The subsystem's raison d'etre: the same site gets different
+        # binary answers from different countries.
+        assert site_spread(obs).contested > 0

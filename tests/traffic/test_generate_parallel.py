@@ -84,6 +84,50 @@ class TestParallelDeterminism:
             assert dataset.universe is universe
 
 
+class TestPoolFallbackWarning:
+    def test_broken_pool_warns_once_and_falls_back(self, universe, monkeypatch):
+        """A dead pool degrades to the sequential path with one warning."""
+        import warnings
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.util.procpool as procpool_module
+        from repro.util.procpool import reset_pool_fallback_warnings
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise BrokenProcessPool("no pool in this sandbox")
+
+        monkeypatch.setattr(procpool_module, "ProcessPoolExecutor", ExplodingPool)
+        reset_pool_fallback_warnings()
+        profiles = build_paper_residences()[:2]
+        with pytest.warns(RuntimeWarning, match="traffic generation"):
+            datasets = TrafficGenerator(universe, seed=5).generate_all(
+                profiles, num_days=2, parallel=2
+            )
+        assert list(datasets) == [p.name for p in profiles]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second fallback stays quiet
+            TrafficGenerator(universe, seed=5).generate_all(
+                profiles, num_days=2, parallel=2
+            )
+        reset_pool_fallback_warnings()
+
+    def test_unrelated_oserror_propagates(self, universe, monkeypatch):
+        """OSErrors that are not pool-creation failures are not swallowed."""
+        import repro.util.procpool as procpool_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError(9999, "not a pool problem")
+
+        monkeypatch.setattr(procpool_module, "ProcessPoolExecutor", ExplodingPool)
+        with pytest.raises(OSError, match="not a pool problem"):
+            TrafficGenerator(universe, seed=5).generate_all(
+                build_paper_residences()[:2], num_days=2, parallel=2
+            )
+
+
 class TestWorkerResolution:
     def test_resolve_workers(self):
         resolve = TrafficGenerator._resolve_workers
