@@ -105,6 +105,28 @@ def observatory(census):
     return record_phase("build:observatory", lambda: SESSION.observatory)
 
 
+#: The bench sweep grid: observatory-layer scenarios only, so the sweep
+#: reuses the session's traffic and census builds outright and its cost
+#: is pure overlay work.
+WHATIF_BENCH_GRID = ("nat64:US", "block:CN@0.8", "accelerate:3")
+
+
+@pytest.fixture(scope="session")
+def whatif_sweep(observatory, residence_study):
+    """A cache-reusing counterfactual sweep against the bench session.
+
+    Depends on the baseline layer fixtures so their builds are recorded
+    under their own phases; ``whatif:sweep`` then times pure overlay
+    work (the cache-reuse contract, measured).
+    """
+    from repro.whatif.sweep import run_sweep
+
+    return record_phase(
+        "whatif:sweep",
+        lambda: run_sweep(SESSION, WHATIF_BENCH_GRID, parallel=False),
+    )
+
+
 @pytest.fixture()
 def report():
     return emit

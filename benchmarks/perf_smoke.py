@@ -33,18 +33,24 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.api import Study, StudyConfig, registry
+from repro.api import Study, StudyConfig, clear_caches, registry
 
 #: The committed perf trajectory anchor for the smoke scale.  Update it
 #: deliberately (with a PR that explains the new cost) whenever the
 #: pipeline legitimately grows; CI fails any run at this scale whose
 #: ``total_wall_s`` exceeds it by more than ``--max-regression``.
 SMOKE_REFERENCE = {
-    "label": "full pipeline + all artifacts (observatory included); ~5-6 s "
-    "measured, anchored at 8 s for shared-runner variance",
+    "label": "full pipeline + all artifacts (observatory + whatif default "
+    "grid) + the warm-vs-cold whatif sweep phases; ~29 s measured, "
+    "anchored at 40 s for shared-runner variance",
     "config": {"days": 14, "sites": 300},
-    "total_wall_s": 8.0,
+    "total_wall_s": 40.0,
 }
+
+#: The warm-vs-cold sweep grid: observatory-only scenarios *not* in the
+#: default grid, so the warm pass measures baseline-cache reuse (fresh
+#: overlays, cached baseline) rather than overlay-cache hits.
+WHATIF_SMOKE_GRID = ("nat64:FR", "block:DE@0.8", "accelerate:5")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,10 +90,34 @@ def main(argv: list[str] | None = None) -> int:
     timed("build:traffic", lambda: study.traffic)
     timed("build:census", lambda: study.census)
     timed("build:cloud", lambda: study.cloud)
+    timed("build:observatory", lambda: study.observatory)
     for name in registry.names():
         timed(f"artifact:{name}", lambda name=name: study.artifact(name).to_text())
 
+    # The whatif cache-reuse contract, measured: the same sweep grid
+    # run warm (baseline layers cached -- only the overlays build) and
+    # cold (cleared caches -- the baseline rebuilds too, what a
+    # cache-less engine would pay per sweep).
+    from repro.whatif.sweep import run_sweep
+
+    timed(
+        "whatif:sweep",
+        lambda: run_sweep(study, WHATIF_SMOKE_GRID, parallel=False),
+    )
+
+    def cold_sweep() -> None:
+        clear_caches()
+        run_sweep(
+            Study(StudyConfig(days=args.days, sites=args.sites)),
+            WHATIF_SMOKE_GRID,
+            parallel=False,
+        )
+
+    timed("whatif:sweep_cold", cold_sweep)
+
     total = time.perf_counter() - overall_start
+    sweep_warm = phases["whatif:sweep"]
+    sweep_cold = phases["whatif:sweep_cold"]
     payload = {
         "schema": 1,
         "recorded_at": datetime.now(timezone.utc).isoformat(),
@@ -102,6 +132,14 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
         },
         "phases": {name: round(seconds, 4) for name, seconds in sorted(phases.items())},
+        "whatif": {
+            "scenarios": list(WHATIF_SMOKE_GRID),
+            "sweep_warm_s": round(sweep_warm, 4),
+            "sweep_cold_s": round(sweep_cold, 4),
+            "cache_reuse_speedup": round(sweep_cold / sweep_warm, 2)
+            if sweep_warm > 0
+            else None,
+        },
         "total_wall_s": round(total, 3),
         "budget_s": args.budget,
         # Distinct key from the benchmark harness's per-phase "reference"
@@ -114,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
     slowest = sorted(phases.items(), key=lambda kv: -kv[1])[:5]
     print(f"perf-smoke: days={args.days} sites={args.sites} "
           f"total={total:.1f}s (budget {args.budget:.0f}s)")
+    print(f"  whatif sweep: warm {sweep_warm:.2f}s vs cold {sweep_cold:.2f}s "
+          f"({sweep_cold / max(sweep_warm, 1e-9):.1f}x cache-reuse speedup)")
     for name, seconds in slowest:
         print(f"  {seconds:8.2f}s  {name}")
     print(f"  wrote {args.output}")

@@ -10,6 +10,7 @@ registry (every figure and table, text or JSON)::
     python -m repro all --scale bench                   # calibrated preset
     python -m repro fig5 --format json
     python -m repro fig13@days=160 table1 --days 28     # per-artifact scale
+    python -m repro whatif --intervention nat64:DE --sweep
 """
 
 from __future__ import annotations
@@ -58,8 +59,14 @@ def _artifact_argument(value: str) -> str:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
     if name not in _META and name not in registry.names():
+        close = registry.suggest(name, extra=_META)
+        hint = (
+            f"did you mean {' or '.join(repr(m) for m in close)}? "
+            if close
+            else ""
+        )
         raise argparse.ArgumentTypeError(
-            f"unknown artifact {name!r} (try: python -m repro list)"
+            f"unknown artifact {name!r} ({hint}try: python -m repro list)"
         )
     return value
 
@@ -106,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="top-ranked sites each observatory vantage probes")
     parser.add_argument("--probe-interval-days", type=int, default=14,
                         help="days between observatory probe rounds")
+    parser.add_argument("--intervention", action="append", default=None,
+                        metavar="SPEC",
+                        help="what-if scenario for the whatif artifacts, e.g. "
+                        "nat64:DE or dualstack:Amazon+ispv6 (repeatable; "
+                        "default: the built-in grid)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="expand --intervention specs into the "
+                        "combination grid (each alone plus every pair)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     return parser
@@ -154,7 +169,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     preset = SCALE_PRESETS[args.scale]
+    if args.sweep and not args.intervention:
+        parser.error(
+            "--sweep expands --intervention specs into a combination grid; "
+            "give at least one --intervention (or omit --sweep to run the "
+            "built-in default grid)"
+        )
     try:
+        whatif_scenarios = None
+        if args.intervention:
+            if args.sweep:
+                from repro.whatif.sweep import sweep_grid
+
+                whatif_scenarios = tuple(
+                    scenario.spec() for scenario in sweep_grid(args.intervention)
+                )
+            else:
+                whatif_scenarios = tuple(args.intervention)
         base = StudyConfig(
             days=args.days if args.days is not None else preset.days,
             sites=args.sites if args.sites is not None else preset.sites,
@@ -163,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
             parallel=args.parallel,
             probe_targets=args.probe_targets,
             probe_interval_days=args.probe_interval_days,
+            whatif_scenarios=whatif_scenarios,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -19,7 +19,13 @@ and immediately appear in ``python -m repro list``.
 """
 
 from repro.api.registry import ArtifactResult, ArtifactSpec, artifact, jsonify
-from repro.api.session import BUILD_COUNTS, Study, StudyConfig, clear_caches
+from repro.api.session import (
+    BUILD_COUNTS,
+    Study,
+    StudyConfig,
+    clear_caches,
+    prime_caches,
+)
 
 __all__ = [
     "ArtifactResult",
@@ -30,4 +36,5 @@ __all__ = [
     "artifact",
     "clear_caches",
     "jsonify",
+    "prime_caches",
 ]

@@ -9,6 +9,8 @@ they read:
 * :mod:`repro.api.artifacts.cloud` -- section 5, cloud adoption.
 * :mod:`repro.api.artifacts.observatory` -- the binary availability
   perspective (per-country vantage probes) and the three-way contrast.
+* :mod:`repro.api.artifacts.whatif` -- the counterfactual intervention
+  sweep (overlay studies, per-country deltas against the baseline).
 """
 
-from repro.api.artifacts import census, cloud, observatory, traffic  # noqa: F401
+from repro.api.artifacts import census, cloud, observatory, traffic, whatif  # noqa: F401

@@ -1,0 +1,223 @@
+"""What-if artifacts: the counterfactual sweep, rendered.
+
+These read ``study.whatif`` -- the sweep of overlay studies over the
+configured scenario grid (``StudyConfig.whatif_scenarios``, or the
+default grid) -- and render the paper's thesis run forward: different
+interventions move the three signals by different amounts, so no
+single binary number can track them.
+
+* ``whatif`` -- the headline: per-scenario deltas plus the strongest
+  mover per signal.
+* ``whatif_deltas`` -- the full scenario x country delta table.
+* ``whatif_ranking`` -- per country, which intervention moves which
+  signal most.
+* ``whatif_sweep`` -- the grid itself (scenarios, layers they perturb,
+  rebuild cost shape).
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import ArtifactResult, artifact
+from repro.api.session import Study
+from repro.whatif.analysis import (
+    country_rankings,
+    deltas_table,
+    scenario_summaries,
+    signal_movers,
+)
+
+
+def _pct(value: float) -> str:
+    return f"{value:+.1%}"
+
+
+def _mover(mover: tuple[str, float]) -> str:
+    """Render a (scenario, delta) mover; empty scenario = nothing moved."""
+    scenario, delta = mover
+    return f"{scenario} ({_pct(delta)})" if scenario else "none"
+
+
+@artifact(
+    "whatif",
+    needs=("whatif",),
+    title="What-if — counterfactual intervention sweep",
+    paper="section 6 (discussion), run forward",
+)
+def whatif(study: Study) -> ArtifactResult:
+    """Headline sweep: how each intervention moves the three signals."""
+    from repro.util.tables import TextTable
+
+    sweep = study.whatif
+    summaries = scenario_summaries(sweep)
+    movers = signal_movers(sweep)
+    table = TextTable(
+        [
+            "scenario", "perturbs", "Δ avail (mean)", "Δ avail (max @country)",
+            "Δ readiness", "Δ usage",
+        ],
+        title="What-if — per-scenario deltas vs baseline",
+    )
+    rows = []
+    for summary in summaries:
+        table.add_row([
+            summary.scenario,
+            ",".join(summary.layers),
+            _pct(summary.d_availability_mean),
+            f"{_pct(summary.d_availability_max)} @{summary.d_availability_max_country}",
+            _pct(summary.d_readiness),
+            _pct(summary.d_usage),
+        ])
+        rows.append({
+            "scenario": summary.scenario,
+            "description": summary.description,
+            "layers": list(summary.layers),
+            "d_availability_mean": summary.d_availability_mean,
+            "d_availability_max": summary.d_availability_max,
+            "d_availability_max_country": summary.d_availability_max_country,
+            "d_readiness": summary.d_readiness,
+            "d_usage": summary.d_usage,
+        })
+    footer = (
+        "strongest movers — availability: "
+        f"{_mover(movers['availability'])}, "
+        f"readiness: {_mover(movers['readiness'])}, "
+        f"usage: {_mover(movers['usage'])}; "
+        "one binary number cannot track three signals that move "
+        "independently"
+    )
+    return ArtifactResult(
+        columns=(
+            "scenario", "layers", "d_availability_mean", "d_availability_max",
+            "d_availability_max_country", "d_readiness", "d_usage",
+        ),
+        rows=rows,
+        metadata={
+            "scenarios": sweep.num_scenarios,
+            "countries": list(sweep.frame.countries),
+            "baseline": {
+                "readiness": sweep.baseline.readiness,
+                "usage": sweep.baseline.usage,
+            },
+            "movers": {k: list(v) for k, v in movers.items()},
+        },
+        text=table.render() + "\n" + footer,
+    )
+
+
+@artifact(
+    "whatif_deltas",
+    needs=("whatif",),
+    title="What-if — scenario × country delta table",
+    paper="the thesis, differentiated",
+)
+def whatif_deltas(study: Study) -> ArtifactResult:
+    """Per-country availability/readiness/usage deltas per scenario."""
+    from repro.util.tables import TextTable
+
+    sweep = study.whatif
+    rows = deltas_table(sweep.frame)
+    table = TextTable(
+        ["scenario", "country", "Δ availability", "Δ readiness", "Δ usage"],
+        title="What-if — per-country deltas vs baseline",
+    )
+    for row in rows:
+        table.add_row([
+            row["scenario"], row["country"],
+            _pct(row["d_availability"]), _pct(row["d_readiness"]),
+            _pct(row["d_usage"]),
+        ])
+    return ArtifactResult(
+        columns=(
+            "scenario", "country",
+            "base_availability", "availability", "d_availability",
+            "base_readiness", "readiness", "d_readiness",
+            "base_usage", "usage", "d_usage",
+        ),
+        rows=rows,
+        metadata={"scenarios": sweep.num_scenarios},
+        text=table.render(),
+    )
+
+
+@artifact(
+    "whatif_ranking",
+    needs=("whatif",),
+    title="What-if — strongest intervention per country and signal",
+    paper="section 6 (discussion), run forward",
+)
+def whatif_ranking(study: Study) -> ArtifactResult:
+    """Which intervention moves which signal most, per country."""
+    from repro.util.tables import TextTable
+
+    sweep = study.whatif
+    table = TextTable(
+        [
+            "country", "availability mover", "Δ", "readiness mover", "Δ",
+            "usage mover", "Δ",
+        ],
+        title="What-if — strongest mover per country and signal",
+    )
+    rows = []
+    for ranking in country_rankings(sweep):
+        table.add_row([
+            ranking.country,
+            ranking.availability_scenario or "-", _pct(ranking.availability_delta),
+            ranking.readiness_scenario or "-", _pct(ranking.readiness_delta),
+            ranking.usage_scenario or "-", _pct(ranking.usage_delta),
+        ])
+        rows.append({
+            "country": ranking.country,
+            "availability_scenario": ranking.availability_scenario,
+            "availability_delta": ranking.availability_delta,
+            "readiness_scenario": ranking.readiness_scenario,
+            "readiness_delta": ranking.readiness_delta,
+            "usage_scenario": ranking.usage_scenario,
+            "usage_delta": ranking.usage_delta,
+        })
+    return ArtifactResult(
+        columns=(
+            "country", "availability_scenario", "availability_delta",
+            "readiness_scenario", "readiness_delta",
+            "usage_scenario", "usage_delta",
+        ),
+        rows=rows,
+        text=table.render(),
+    )
+
+
+@artifact(
+    "whatif_sweep",
+    needs=("whatif",),
+    title="What-if — the scenario grid",
+    paper="methodology",
+)
+def whatif_sweep(study: Study) -> ArtifactResult:
+    """The sweep grid: scenarios, composition, and perturbed layers."""
+    from repro.util.tables import TextTable
+
+    sweep = study.whatif
+    table = TextTable(
+        ["scenario", "interventions", "perturbs"],
+        title="What-if — scenario grid",
+    )
+    rows = []
+    for scenario in sweep.scenarios:
+        layers = ",".join(sorted(scenario.layers()))
+        table.add_row([scenario.spec(), scenario.describe(), layers])
+        rows.append({
+            "scenario": scenario.spec(),
+            "description": scenario.describe(),
+            "interventions": [iv.spec() for iv in scenario.interventions],
+            "layers": sorted(scenario.layers()),
+        })
+    footer = (
+        f"{sweep.num_scenarios} scenarios x {len(sweep.frame.countries)} "
+        "countries; unperturbed layers are baseline cache hits (zero "
+        "rebuilds)"
+    )
+    return ArtifactResult(
+        columns=("scenario", "interventions", "layers"),
+        rows=rows,
+        metadata={"countries": list(sweep.frame.countries)},
+        text=table.render() + "\n" + footer,
+    )

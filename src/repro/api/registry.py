@@ -30,8 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: the census (attribution runs over the crawl), ``"dependencies"`` is
 #: the memoized section-4.3 analysis of the census, and
 #: ``"observatory"`` is the active-measurement layer probing the census
-#: universe from the per-country vantage fleet.
-LAYERS = frozenset({"traffic", "census", "cloud", "dependencies", "observatory"})
+#: universe from the per-country vantage fleet, and ``"whatif"`` is the
+#: counterfactual sweep contrasting overlay worlds with the baseline.
+LAYERS = frozenset(
+    {"traffic", "census", "cloud", "dependencies", "observatory", "whatif"}
+)
 
 
 def jsonify(value: Any) -> Any:
@@ -186,15 +189,34 @@ def specs() -> list[ArtifactSpec]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
+def suggest(name: str, extra: tuple[str, ...] = ()) -> list[str]:
+    """Close matches for a misspelled artifact name (for error messages).
+
+    ``extra`` adds candidates beyond the registry -- the CLI passes its
+    meta commands (``list``, ``all``) so the did-you-mean hint covers
+    them too.
+    """
+    import difflib
+
+    _discover()
+    return difflib.get_close_matches(
+        name, [*sorted(_REGISTRY), *extra], n=3, cutoff=0.5
+    )
+
+
 def get(name: str) -> ArtifactSpec:
-    """Look up one artifact; raises ``KeyError`` with the known names."""
+    """Look up one artifact; raises ``KeyError`` with a suggestion."""
     _discover()
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown artifact {name!r}; known: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+        close = suggest(name)
+        hint = (
+            f"did you mean {' or '.join(repr(m) for m in close)}?"
+            if close
+            else f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+        raise KeyError(f"unknown artifact {name!r}; {hint}") from None
 
 
 def run(study: "Study", name: str, **params: Any) -> ArtifactResult:

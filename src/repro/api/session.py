@@ -38,9 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cloudstats import DomainCloudView
     from repro.core.deps import DependencyAnalysis
     from repro.observatory.rounds import ObservatoryStudy
+    from repro.whatif.sweep import WhatifSweep
 
 #: How many times each layer has actually been *built* (cache misses).
 #: Tests assert on deltas of this counter to prove memoization works.
+#: Overlay (whatif) rebuilds count under ``whatif:<layer>`` keys, so a
+#: sweep never inflates the baseline layer counters.
 BUILD_COUNTS: Counter = Counter()
 
 _TRAFFIC_CACHE: dict[tuple, ResidenceStudy] = {}
@@ -48,15 +51,47 @@ _CENSUS_CACHE: dict[tuple, CensusStudy] = {}
 _CLOUD_CACHE: dict[tuple, dict] = {}
 _DEPS_CACHE: dict[tuple, Any] = {}
 _OBSERVATORY_CACHE: dict[tuple, Any] = {}
+_WHATIF_CACHE: dict[tuple, Any] = {}
+
+#: Every process-wide layer cache, in one place.  ``clear_caches`` and
+#: the sweep-worker priming iterate this; a new layer that adds its own
+#: module-level ``_*_CACHE`` dict must register here (enforced by
+#: ``tests/api/test_session.py``), so overlays can never be silently
+#: leaked across ``clear_caches()``.
+_ALL_CACHES: dict[str, dict] = {
+    "traffic": _TRAFFIC_CACHE,
+    "census": _CENSUS_CACHE,
+    "cloud": _CLOUD_CACHE,
+    "dependencies": _DEPS_CACHE,
+    "observatory": _OBSERVATORY_CACHE,
+    "whatif": _WHATIF_CACHE,
+}
 
 
 def clear_caches() -> None:
     """Drop every cached layer (``BUILD_COUNTS`` is left intact)."""
-    _TRAFFIC_CACHE.clear()
-    _CENSUS_CACHE.clear()
-    _CLOUD_CACHE.clear()
-    _DEPS_CACHE.clear()
-    _OBSERVATORY_CACHE.clear()
+    for cache in _ALL_CACHES.values():
+        cache.clear()
+
+
+def prime_caches(layer_values: dict[str, dict[tuple, Any]]) -> None:
+    """Seed the process-wide caches with already-built layers.
+
+    ``layer_values`` maps a layer name (a key of :data:`_ALL_CACHES`)
+    to ``{cache_key: built_value}`` entries.  Used by the whatif sweep
+    workers: the parent ships its baseline universes once per worker so
+    a 20-scenario sweep fanned over processes still rebuilds zero
+    untouched layers.
+    """
+    for layer, entries in layer_values.items():
+        try:
+            cache = _ALL_CACHES[layer]
+        except KeyError:
+            raise ValueError(
+                f"unknown layer {layer!r}; expected one of "
+                f"{', '.join(sorted(_ALL_CACHES))}"
+            ) from None
+        cache.update(entries)
 
 
 @dataclass(frozen=True)
@@ -78,6 +113,11 @@ class StudyConfig:
     ``probe_targets`` / ``probe_interval_days`` scale the observatory
     layer only: how many top-ranked sites every vantage probes, and how
     many days apart the probe rounds run across the ``days`` window.
+
+    ``whatif_scenarios`` selects the counterfactual sweep grid: a tuple
+    of scenario spec strings (``"nat64:DE"``,
+    ``"dualstack:Amazon+ispv6"``; see :mod:`repro.whatif.spec`).
+    ``None`` means the default grid.  It keys only the ``whatif`` layer.
     """
 
     days: int = BENCH_TRAFFIC_DAYS
@@ -88,6 +128,7 @@ class StudyConfig:
     parallel: bool | int | None = None
     probe_targets: int = 500
     probe_interval_days: int = 14
+    whatif_scenarios: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.days < 1:
@@ -102,6 +143,19 @@ class StudyConfig:
             raise ValueError("probe_interval_days must be >= 1")
         if self.residences is not None:
             object.__setattr__(self, "residences", tuple(sorted(self.residences)))
+        if self.whatif_scenarios is not None:
+            from repro.whatif.spec import parse_scenario
+
+            # Canonicalize each spec (round-trip through the parser) and
+            # de-duplicate preserving order, so equal sweeps share keys.
+            canonical = tuple(
+                dict.fromkeys(
+                    parse_scenario(text).spec() for text in self.whatif_scenarios
+                )
+            )
+            if not canonical:
+                raise ValueError("whatif_scenarios must not be empty")
+            object.__setattr__(self, "whatif_scenarios", canonical)
 
     def replace(self, **changes: Any) -> "StudyConfig":
         """A copy with ``changes`` applied (and re-validated)."""
@@ -117,9 +171,19 @@ class StudyConfig:
 
     @property
     def observatory_key(self) -> tuple:
+        return self.observatory_key_over(self.census_key)
+
+    def observatory_key_over(self, census_key: tuple) -> tuple:
+        """The observatory key over an explicit census key.
+
+        The observatory probes the census universe, so its key embeds
+        the census key -- which an overlay may have extended.  This is
+        the single definition both :attr:`observatory_key` and
+        ``Study._observatory_key`` compose.
+        """
         return (
             "observatory",
-            self.census_key,
+            census_key,
             self.days,
             self.probe_targets,
             self.probe_interval_days,
@@ -155,6 +219,7 @@ class Study:
         self._cloud: dict[str, "DomainCloudView"] | None = None
         self._deps: "DependencyAnalysis | None" = None
         self._observatory: "ObservatoryStudy | None" = None
+        self._whatif: "WhatifSweep | None" = None
 
     @classmethod
     def from_prebuilt(
@@ -185,22 +250,89 @@ class Study:
         if self._log is not None:
             self._log(message)
 
+    # -- layer cache keys and builders -------------------------------------
+    #
+    # Each layer's cache key and build recipe is an overridable method,
+    # which is how ``repro.whatif.overlay.OverlayStudy`` perturbs only
+    # the layers an intervention touches: it extends the keys (and
+    # swaps the builders) for perturbed layers and inherits these
+    # verbatim for everything else, so untouched layers stay cache hits
+    # against the baseline.  ``_count_key`` namespaces BUILD_COUNTS the
+    # same way (overlay rebuilds land under ``whatif:<layer>``).
+
+    def _count_key(self, layer: str) -> str:
+        return layer
+
+    def _traffic_key(self) -> tuple:
+        return self.config.traffic_key
+
+    def _census_key(self) -> tuple:
+        return self.config.census_key
+
+    def _observatory_key(self) -> tuple:
+        return self.config.observatory_key_over(self._census_key())
+
+    def _whatif_key(self) -> tuple:
+        return (
+            "whatif",
+            self._traffic_key(),
+            self._census_key(),
+            self._observatory_key(),
+            self._whatif_scenario_specs(),
+        )
+
+    def _whatif_scenario_specs(self) -> tuple[str, ...]:
+        """The sweep's scenario specs, with ``None`` resolved to the
+        default grid (so explicit-default and implicit-default sweeps
+        share one cache entry)."""
+        if self.config.whatif_scenarios is not None:
+            return self.config.whatif_scenarios
+        from repro.whatif.spec import default_sweep_grid
+
+        return tuple(scenario.spec() for scenario in default_sweep_grid())
+
+    def _build_traffic(self) -> ResidenceStudy:
+        return build_residence_study(
+            num_days=self.config.days,
+            seed=self.config.seed,
+            residences=self.config.residences,
+            parallel=self.config.parallel,
+        )
+
+    def _build_census(self) -> CensusStudy:
+        return build_census(
+            num_sites=self.config.sites,
+            seed=self.config.seed,
+            link_clicks=self.config.link_clicks,
+        )
+
+    def _build_observatory(self, census: CensusStudy) -> "ObservatoryStudy":
+        from repro.observatory.rounds import ObservatoryConfig, run_observatory
+
+        return run_observatory(
+            census.ecosystem,
+            ObservatoryConfig(
+                num_days=self.config.days,
+                probe_interval_days=self.config.probe_interval_days,
+                max_targets=self.config.probe_targets,
+                seed=self.config.seed,
+                parallel=self.config.parallel,
+            ),
+        )
+
+    # -- the layers --------------------------------------------------------
+
     @property
     def traffic(self) -> ResidenceStudy:
         """The five-residence traffic study (built on first access)."""
         if self._traffic is None:
-            key = self.config.traffic_key
+            key = self._traffic_key()
             if key not in _TRAFFIC_CACHE:
                 self._say(
                     f"# generating {self.config.days} days of residential traffic ..."
                 )
-                BUILD_COUNTS["traffic"] += 1
-                _TRAFFIC_CACHE[key] = build_residence_study(
-                    num_days=self.config.days,
-                    seed=self.config.seed,
-                    residences=self.config.residences,
-                    parallel=self.config.parallel,
-                )
+                BUILD_COUNTS[self._count_key("traffic")] += 1
+                _TRAFFIC_CACHE[key] = self._build_traffic()
             self._traffic = _TRAFFIC_CACHE[key]
         return self._traffic
 
@@ -208,15 +340,11 @@ class Study:
     def census(self) -> CensusStudy:
         """The crawled web census (built on first access)."""
         if self._census is None:
-            key = self.config.census_key
+            key = self._census_key()
             if key not in _CENSUS_CACHE:
                 self._say(f"# crawling a {self.config.sites}-site universe ...")
-                BUILD_COUNTS["census"] += 1
-                _CENSUS_CACHE[key] = build_census(
-                    num_sites=self.config.sites,
-                    seed=self.config.seed,
-                    link_clicks=self.config.link_clicks,
-                )
+                BUILD_COUNTS[self._count_key("census")] += 1
+                _CENSUS_CACHE[key] = self._build_census()
             self._census = _CENSUS_CACHE[key]
         return self._census
 
@@ -224,11 +352,11 @@ class Study:
     def cloud(self) -> dict[str, "DomainCloudView"]:
         """Per-FQDN cloud attribution of the census (section 5)."""
         if self._cloud is None:
-            key = self.config.census_key
+            key = self._census_key()
             if self._prebuilt or key not in _CLOUD_CACHE:
                 census = self.census
                 self._say("# attributing crawled FQDNs to cloud organizations ...")
-                BUILD_COUNTS["cloud"] += 1
+                BUILD_COUNTS[self._count_key("cloud")] += 1
                 views = attribute_domains(
                     census.dataset, census.ecosystem.routing, census.ecosystem.registry
                 )
@@ -243,11 +371,11 @@ class Study:
     def dependencies(self) -> "DependencyAnalysis":
         """The section-4.3 dependency analysis of the census."""
         if self._deps is None:
-            key = self.config.census_key
+            key = self._census_key()
             if self._prebuilt or key not in _DEPS_CACHE:
                 census = self.census
                 self._say("# analyzing IPv4-only dependencies of partial sites ...")
-                BUILD_COUNTS["dependencies"] += 1
+                BUILD_COUNTS[self._count_key("dependencies")] += 1
                 analysis = analyze_dependencies(census.dataset)
                 if self._prebuilt:
                     self._deps = analysis
@@ -267,32 +395,61 @@ class Study:
         other layer.
         """
         if self._observatory is None:
-            from repro.observatory.rounds import ObservatoryConfig, run_observatory
-
-            key = self.config.observatory_key
+            key = self._observatory_key()
             if self._prebuilt or key not in _OBSERVATORY_CACHE:
                 census = self.census
                 self._say(
                     f"# probing {min(self.config.probe_targets, self.config.sites)}"
                     " sites from the vantage fleet ..."
                 )
-                BUILD_COUNTS["observatory"] += 1
-                study = run_observatory(
-                    census.ecosystem,
-                    ObservatoryConfig(
-                        num_days=self.config.days,
-                        probe_interval_days=self.config.probe_interval_days,
-                        max_targets=self.config.probe_targets,
-                        seed=self.config.seed,
-                        parallel=self.config.parallel,
-                    ),
-                )
+                BUILD_COUNTS[self._count_key("observatory")] += 1
+                study = self._build_observatory(census)
                 if self._prebuilt:
                     self._observatory = study
                     return self._observatory
                 _OBSERVATORY_CACHE[key] = study
             self._observatory = _OBSERVATORY_CACHE[key]
         return self._observatory
+
+    @property
+    def whatif(self) -> "WhatifSweep":
+        """The counterfactual sweep over this study's scenario grid.
+
+        Runs every scenario of ``config.whatif_scenarios`` (the default
+        grid when ``None``) as an :class:`~repro.whatif.overlay.
+        OverlayStudy` against this study's baseline and assembles the
+        per-country availability/readiness/usage deltas into a columnar
+        :class:`~repro.whatif.sweep.DeltaFrame`.  Overlays reuse every
+        baseline layer an intervention does not perturb, so the sweep
+        costs rebuilds only where the counterfactual differs.
+        """
+        if self._whatif is None:
+            from repro.whatif.spec import parse_scenario
+            from repro.whatif.sweep import run_sweep
+
+            if self._prebuilt:
+                # Same contract as OverlayStudy/run_sweep: prebuilt
+                # universes never entered the process caches, so the
+                # overlays would fork a different world than the one
+                # the baseline signals come from.
+                raise ValueError(
+                    "whatif sweeps need a config-cached baseline; prebuilt "
+                    "studies bypass the process caches the overlays share"
+                )
+            key = self._whatif_key()
+            if key not in _WHATIF_CACHE:
+                scenarios = tuple(
+                    parse_scenario(spec) for spec in self._whatif_scenario_specs()
+                )
+                self._say(
+                    f"# sweeping {len(scenarios)} counterfactual scenarios ..."
+                )
+                BUILD_COUNTS[self._count_key("whatif")] += 1
+                _WHATIF_CACHE[key] = run_sweep(
+                    self, scenarios, parallel=self.config.parallel
+                )
+            self._whatif = _WHATIF_CACHE[key]
+        return self._whatif
 
     def artifact(self, name: str, **params: Any) -> "ArtifactResult":
         """Run one registered artifact against this study."""
@@ -316,6 +473,7 @@ class Study:
                 ("cloud", self._cloud),
                 ("dependencies", self._deps),
                 ("observatory", self._observatory),
+                ("whatif", self._whatif),
             )
             if value is not None
         ]

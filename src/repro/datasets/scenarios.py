@@ -93,6 +93,9 @@ def build_residence_study(
     seed: int = 42,
     residences: tuple[str, ...] | None = None,
     parallel: bool | int | None = None,
+    catalog: list | None = None,
+    profiles: list | None = None,
+    he_config=None,
 ) -> ResidenceStudy:
     """Generate the five-residence traffic study (paper section 3).
 
@@ -102,10 +105,17 @@ def build_residence_study(
         residences: restrict to a subset of "A".."E" (all by default).
         parallel: fan residences out over worker processes (``None``
             auto-detects; results are identical to the sequential path).
+        catalog: replacement service catalog (what-if overlays hand in a
+            transformed copy; default :func:`build_service_catalog`).
+        profiles: replacement residence profiles (what-if overlays;
+            default :func:`build_paper_residences`), filtered by
+            ``residences`` either way.
+        he_config: Happy Eyeballs timer overrides for the client stacks
+            (``None`` keeps the RFC 8305 defaults).
     """
-    universe = ServiceUniverse(build_service_catalog())
-    generator = TrafficGenerator(universe, seed=seed)
-    profiles = build_paper_residences()
+    universe = ServiceUniverse(catalog if catalog is not None else build_service_catalog())
+    generator = TrafficGenerator(universe, seed=seed, he_config=he_config)
+    profiles = list(profiles) if profiles is not None else build_paper_residences()
     if residences is not None:
         wanted = set(residences)
         profiles = [p for p in profiles if p.name in wanted]
@@ -119,6 +129,7 @@ def build_census(
     num_sites: int = BENCH_CENSUS_SITES,
     seed: int = 42,
     link_clicks: int = 5,
+    mutate=None,
 ) -> CensusStudy:
     """Build a web universe and crawl it (paper section 4.1).
 
@@ -127,8 +138,13 @@ def build_census(
         seed: scenario seed.
         link_clicks: same-site link clicks per site (paper uses 5;
             0 reproduces the paper's main-page-only comparison).
+        mutate: optional hook called with the built :class:`WebEcosystem`
+            *before* the crawl -- the what-if overlays' entry point for
+            counterfactual universes (e.g. a provider dual-stacking).
     """
     ecosystem = WebEcosystem(WebEcosystemConfig(num_sites=num_sites, seed=seed))
+    if mutate is not None:
+        mutate(ecosystem)
     census = WebCensus(ecosystem, CensusConfig(link_clicks=link_clicks, seed=seed))
     return CensusStudy(ecosystem=ecosystem, dataset=census.run())
 

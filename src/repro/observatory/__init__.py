@@ -24,7 +24,9 @@ from repro.observatory.analysis import (
     PolicyVerdicts,
     SiteSpread,
     TakeoffSeries,
+    census_readiness_shares,
     country_availability,
+    final_round_availability,
     policy_verdicts,
     site_spread,
     takeoff_series,
@@ -61,7 +63,9 @@ __all__ = [
     "PolicyVerdicts",
     "SiteSpread",
     "TakeoffSeries",
+    "census_readiness_shares",
     "country_availability",
+    "final_round_availability",
     "policy_verdicts",
     "site_spread",
     "takeoff_series",

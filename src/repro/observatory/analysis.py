@@ -268,6 +268,39 @@ def _census_classes(
     return full, partial, v4only
 
 
+def final_round_availability(obs: ObservatoryStudy) -> np.ndarray:
+    """Final-round per-country available share, aligned to ``obs.countries``.
+
+    The "current" binary answer each country's observatory would
+    publish -- the availability column of :func:`three_way_contrast`
+    and of every what-if delta (one definition, so the two can never
+    silently diverge).
+    """
+    last = obs.frame.select(round_index=obs.num_rounds - 1)
+    n = len(obs.countries)
+    probes = np.bincount(last.country, minlength=n).astype(np.float64)
+    available = np.bincount(last.country[last.available], minlength=n)
+    with np.errstate(invalid="ignore"):
+        return np.where(probes > 0, available / probes, 0.0)
+
+
+def census_readiness_shares(
+    dataset: CrawlDataset, probed: set[str]
+) -> tuple[float, float, float]:
+    """(full, partial, v4only) shares among probed, classified sites.
+
+    The graded-readiness columns of :func:`three_way_contrast`, shared
+    with the what-if deltas.
+    """
+    full, partial, v4only = _census_classes(dataset, probed)
+    classified = full + partial + v4only
+    return (
+        _share(full, classified),
+        _share(partial, classified),
+        _share(v4only, classified),
+    )
+
+
 def traffic_v6_byte_fraction(traffic: ResidenceStudy) -> float:
     """External IPv6 byte fraction aggregated over every residence."""
     total = 0
@@ -297,21 +330,22 @@ def three_way_contrast(
     last = obs.frame.select(round_index=obs.num_rounds - 1)
     n = len(obs.countries)
     probes = np.bincount(last.country, minlength=n)
-    available = np.bincount(last.country[last.available], minlength=n)
+    availability = final_round_availability(obs)
 
     probed = {target.etld1 for target in obs.targets}
-    full, partial, v4only = _census_classes(census_dataset, probed)
-    classified = full + partial + v4only
+    full_share, partial_share, v4only_share = census_readiness_shares(
+        census_dataset, probed
+    )
     usage = traffic_v6_byte_fraction(traffic)
 
     return [
         ContrastRow(
             country=name,
             probes=int(probes[i]),
-            available_share=_share(int(available[i]), int(probes[i])),
-            census_full_share=_share(full, classified),
-            census_partial_share=_share(partial, classified),
-            census_v4only_share=_share(v4only, classified),
+            available_share=float(availability[i]),
+            census_full_share=full_share,
+            census_partial_share=partial_share,
+            census_v4only_share=v4only_share,
             traffic_v6_byte_fraction=usage,
         )
         for i, name in enumerate(obs.countries)

@@ -240,7 +240,9 @@ def _probe_vantage(
 
 
 def run_observatory(
-    ecosystem: "WebEcosystem", config: ObservatoryConfig | None = None
+    ecosystem: "WebEcosystem",
+    config: ObservatoryConfig | None = None,
+    fleet: tuple[VantagePoint, ...] | None = None,
 ) -> ObservatoryStudy:
     """Run every probe round of the study window against ``ecosystem``.
 
@@ -249,9 +251,15 @@ def run_observatory(
     the edge-outage set, so the observatory and the census disagree only
     for *modelled* reasons (vantage policy), never because they looked
     at different universes.
+
+    ``fleet`` replaces the default per-country vantage fleet -- the
+    what-if overlays hand in policy-transformed fleets (a country
+    deploying NAT64, a policy firewall) without rebuilding anything
+    else.
     """
     config = config or ObservatoryConfig()
-    fleet = build_vantage_fleet()
+    if fleet is None:
+        fleet = build_vantage_fleet()
     targets = build_targets(ecosystem, config.max_targets)
     universe: _ProbeUniverse = (
         ecosystem.zones,

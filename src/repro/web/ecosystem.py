@@ -495,6 +495,63 @@ class WebEcosystem:
             # Redirect off into a domain that does not exist anywhere.
             website.redirects[main_host] = f"parked.gone-{website.rank}.example"
 
+    # -- counterfactual mutations ------------------------------------------
+
+    def enable_provider_aaaa(self, provider_name: str) -> int:
+        """Dual-stack every placement hosted on ``provider_name``.
+
+        The what-if lever behind ``dualstack:<provider>``: every tenant
+        subdomain placed on one of the provider's services that lacks an
+        AAAA record gains one (a fresh shared edge address of the
+        service's v6 organization), and the placement's ``has_aaaa``
+        ground truth is updated to match.  Placements whose edge is in
+        the outage set are left alone -- turning on IPv6 does not fix a
+        broken site.  Deterministic: iteration follows tenant insertion
+        order and the allocator state, no RNG.  Returns the number of
+        placements that gained an AAAA.
+
+        Must run *before* a census crawls this ecosystem (the crawler
+        observes DNS, so records added afterwards would be invisible).
+        """
+        if provider_name not in {p.name for p in self.providers}:
+            raise ValueError(
+                f"unknown provider {provider_name!r}; known: "
+                + ", ".join(p.name for p in self.providers)
+            )
+        import dataclasses as _dataclasses
+
+        from repro.net.dns import DnsRecordType as _RType
+
+        enabled = 0
+        for tenant in self.tenants.values():
+            site_zone = self.zones.zone_for(tenant.etld1)
+            if site_zone is None:  # pragma: no cover - tenants always have zones
+                continue
+            for index, placement in enumerate(tenant.placements):
+                if placement.has_aaaa or placement.provider_name != provider_name:
+                    continue
+                cnames = site_zone.lookup(placement.fqdn, _RType.CNAME)
+                if not cnames:
+                    continue
+                target = str(cnames[0].value)
+                target_zone = self.zones.zone_for(target)
+                if target_zone is None:  # pragma: no cover - guarded at build
+                    continue
+                a_records = target_zone.lookup(target, _RType.A)
+                if any(r.value in self.connectivity.unreachable for r in a_records):
+                    continue  # broken edge: v6 would be just as dead
+                provider, service = self._provider_service(placement.service)
+                target_zone.add(
+                    target,
+                    _RType.AAAA,
+                    self._edge_address(provider, service, Family.V6),
+                )
+                tenant.placements[index] = _dataclasses.replace(
+                    placement, has_aaaa=True
+                )
+                enabled += 1
+        return enabled
+
     # -- convenience accessors ---------------------------------------------
 
     def websites(self) -> list[Website]:

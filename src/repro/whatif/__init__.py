@@ -1,0 +1,96 @@
+"""The counterfactual intervention engine (what-if scenarios).
+
+The repo's other subsystems measure the one world they were seeded
+with; this one manufactures the worlds the deployment literature
+argues about.  A declarative :class:`~repro.whatif.spec.Intervention`
+(an ISP enabling IPv6, a provider dual-stacking, a country deploying
+NAT64, a policy block, an accelerated takeoff, a Happy Eyeballs timer
+change) names the layers it perturbs; an
+:class:`~repro.whatif.overlay.OverlayStudy` forks a baseline
+:class:`~repro.api.Study` into that counterfactual, rebuilding *only*
+the perturbed layers and reusing the baseline's process-wide caches
+for everything else; :func:`~repro.whatif.sweep.run_sweep` fans a
+scenario grid out in parallel and lands per-country
+availability/readiness/usage deltas in a columnar
+:class:`~repro.whatif.sweep.DeltaFrame`::
+
+    from repro.api import Study
+    from repro.whatif import OverlayStudy, run_sweep
+
+    study = Study(days=28, sites=1500)
+    overlay = OverlayStudy(study, "nat64:DE")     # one counterfactual
+    sweep = run_sweep(study, ["nat64:DE", "dualstack:Amazon+ispv6"])
+    print(study.artifact("whatif").to_text())     # the default grid
+"""
+
+from repro.whatif.analysis import (
+    SIGNALS,
+    CountryRanking,
+    ScenarioSummary,
+    country_rankings,
+    deltas_table,
+    scenario_summaries,
+    signal_movers,
+)
+from repro.whatif.overlay import OverlayStudy
+from repro.whatif.spec import (
+    INTERVENTION_TYPES,
+    AcceleratedAdoption,
+    DeployNAT64,
+    DualStackProvider,
+    EnableISPv6,
+    HappyEyeballsTimerChange,
+    Intervention,
+    PolicyBlockCountry,
+    Scenario,
+    as_scenario,
+    default_sweep_grid,
+    parse_intervention,
+    parse_scenario,
+)
+from repro.whatif.sweep import (
+    DELTA_DTYPE,
+    BaselineSignals,
+    DeltaFrame,
+    WhatifSweep,
+    availability_by_country,
+    census_full_share,
+    compute_baseline_signals,
+    run_sweep,
+    scenario_block,
+    sweep_grid,
+)
+
+__all__ = [
+    "SIGNALS",
+    "CountryRanking",
+    "ScenarioSummary",
+    "country_rankings",
+    "deltas_table",
+    "scenario_summaries",
+    "signal_movers",
+    "OverlayStudy",
+    "INTERVENTION_TYPES",
+    "AcceleratedAdoption",
+    "DeployNAT64",
+    "DualStackProvider",
+    "EnableISPv6",
+    "HappyEyeballsTimerChange",
+    "Intervention",
+    "PolicyBlockCountry",
+    "Scenario",
+    "as_scenario",
+    "default_sweep_grid",
+    "parse_intervention",
+    "parse_scenario",
+    "DELTA_DTYPE",
+    "BaselineSignals",
+    "DeltaFrame",
+    "WhatifSweep",
+    "availability_by_country",
+    "census_full_share",
+    "compute_baseline_signals",
+    "run_sweep",
+    "scenario_block",
+    "sweep_grid",
+]

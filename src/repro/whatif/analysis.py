@@ -1,0 +1,177 @@
+"""Sweep aggregations: which lever moves which signal, where.
+
+Everything works on the :class:`~repro.whatif.sweep.DeltaFrame`'s
+integer codes in the columnar idiom of :mod:`repro.core.client` and
+:mod:`repro.observatory.analysis`: scenario-major reductions for the
+per-scenario summaries, country-major argmax scans for the rankings.
+
+The headline fact these surface is the paper's thesis run forward: the
+three signals respond to *different* interventions.  NAT64 moves the
+binary availability answer without touching readiness; a provider
+dual-stacking moves readiness and usage; a Happy Eyeballs timer change
+moves usage alone.  A binary metric cannot even express the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.whatif.sweep import DeltaFrame, WhatifSweep
+
+#: The three signal axes, in reporting order.
+SIGNALS = ("availability", "readiness", "usage")
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """One scenario's sweep row: how far each signal moved."""
+
+    scenario: str
+    description: str
+    layers: tuple[str, ...]
+    #: Mean availability delta across countries, and the single most
+    #: moved country (availability is the only per-country signal).
+    d_availability_mean: float
+    d_availability_max: float
+    d_availability_max_country: str
+    d_readiness: float
+    d_usage: float
+
+
+def scenario_summaries(sweep: WhatifSweep) -> list[ScenarioSummary]:
+    """Per-scenario aggregate deltas, in grid order."""
+    frame = sweep.frame
+    n_countries = len(frame.countries)
+    rows: list[ScenarioSummary] = []
+    for index, scenario in enumerate(sweep.scenarios):
+        view = frame.data[frame.scenario == index]
+        d_avail = view["d_availability"]
+        top = int(np.argmax(np.abs(d_avail))) if view.size else 0
+        rows.append(
+            ScenarioSummary(
+                scenario=scenario.spec(),
+                description=scenario.describe(),
+                layers=tuple(sorted(scenario.layers())),
+                d_availability_mean=float(d_avail.mean()) if view.size else 0.0,
+                d_availability_max=float(d_avail[top]) if view.size else 0.0,
+                d_availability_max_country=(
+                    frame.countries[int(view["country"][top])]
+                    if view.size
+                    else ""
+                ),
+                d_readiness=float(view["d_readiness"][0]) if view.size else 0.0,
+                d_usage=float(view["d_usage"][0]) if view.size else 0.0,
+            )
+        )
+        if view.size != n_countries:  # pragma: no cover - scenario_block guards
+            raise ValueError(
+                f"scenario {scenario.spec()!r} carries {view.size} rows, "
+                f"expected one per country ({n_countries})"
+            )
+    return rows
+
+
+def _top_mover(
+    scenario_codes: np.ndarray, deltas: np.ndarray, scenarios: tuple[str, ...]
+) -> tuple[str, float]:
+    """The scenario with the largest absolute delta, or ``("", 0.0)``
+    when nothing moved the signal at all -- naming an arbitrary
+    scenario as the "strongest mover" of an untouched signal would be
+    exactly the confusion these tables exist to dispel."""
+    if not deltas.size:
+        return "", 0.0
+    top = int(np.argmax(np.abs(deltas)))
+    if deltas[top] == 0.0:
+        return "", 0.0
+    return scenarios[int(scenario_codes[top])], float(deltas[top])
+
+
+@dataclass(frozen=True)
+class CountryRanking:
+    """One country's row: the strongest mover per signal.
+
+    ``*_delta`` keeps the mover's sign (a block intervention "wins" the
+    availability column with a negative delta); movers are selected by
+    absolute effect.  A signal nothing moved reports an empty scenario
+    and a zero delta.
+    """
+
+    country: str
+    availability_scenario: str
+    availability_delta: float
+    readiness_scenario: str
+    readiness_delta: float
+    usage_scenario: str
+    usage_delta: float
+
+
+def country_rankings(sweep: WhatifSweep) -> list[CountryRanking]:
+    """Per country: which scenario moves each signal most.
+
+    Availability is genuinely per-country (a NAT64 deployment in DE
+    moves DE and nothing else); readiness and usage are global truths,
+    so their top mover is the same in every row -- the asymmetry the
+    table is meant to show.
+    """
+    frame = sweep.frame
+    rankings: list[CountryRanking] = []
+    for country_index, country in enumerate(frame.countries):
+        view = frame.data[frame.country == country_index]
+        winners: dict[str, tuple[str, float]] = {}
+        for signal in SIGNALS:
+            winners[signal] = _top_mover(
+                view["scenario"], view[f"d_{signal}"], frame.scenarios
+            )
+        rankings.append(
+            CountryRanking(
+                country=country,
+                availability_scenario=winners["availability"][0],
+                availability_delta=winners["availability"][1],
+                readiness_scenario=winners["readiness"][0],
+                readiness_delta=winners["readiness"][1],
+                usage_scenario=winners["usage"][0],
+                usage_delta=winners["usage"][1],
+            )
+        )
+    return rankings
+
+
+def signal_movers(sweep: WhatifSweep) -> dict[str, tuple[str, float]]:
+    """Sweep-wide: the single strongest scenario per signal.
+
+    Availability is judged by the largest absolute per-country delta
+    (country effects are the whole point); readiness and usage by their
+    global deltas.  Signals nothing in the grid moved report ``("",
+    0.0)``.
+    """
+    frame = sweep.frame
+    return {
+        signal: _top_mover(
+            frame.data["scenario"], frame.data[f"d_{signal}"], frame.scenarios
+        )
+        for signal in SIGNALS
+    }
+
+
+def deltas_table(frame: DeltaFrame) -> list[dict[str, float | str]]:
+    """The scenario x country delta rows as plain dicts (JSON-ready)."""
+    rows: list[dict[str, float | str]] = []
+    for row in frame.data:
+        rows.append(
+            {
+                "scenario": frame.scenarios[int(row["scenario"])],
+                "country": frame.countries[int(row["country"])],
+                "base_availability": float(row["base_availability"]),
+                "availability": float(row["availability"]),
+                "d_availability": float(row["d_availability"]),
+                "base_readiness": float(row["base_readiness"]),
+                "readiness": float(row["readiness"]),
+                "d_readiness": float(row["d_readiness"]),
+                "base_usage": float(row["base_usage"]),
+                "usage": float(row["usage"]),
+                "d_usage": float(row["d_usage"]),
+            }
+        )
+    return rows

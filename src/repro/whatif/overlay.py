@@ -1,0 +1,167 @@
+"""OverlayStudy: a Study forked into a counterfactual world.
+
+An overlay is a full :class:`~repro.api.session.Study` whose universes
+differ from a baseline's only where a :class:`~repro.whatif.spec.
+Scenario`'s interventions say they must.  The mechanics ride the
+session's layer-key/builder methods:
+
+* for every layer the scenario **perturbs**, the overlay extends the
+  baseline cache key with the scenario's canonical spec and swaps in a
+  builder that applies the interventions' transforms (a mutated web
+  universe, a policy-transformed vantage fleet, a patched service
+  catalog / residence fleet / Happy Eyeballs config);
+* for every **untouched** layer, keys and builders are inherited
+  verbatim, so the overlay is a cache *hit* against the baseline --
+  a sweep of twenty scenarios rebuilds zero censuses it didn't change.
+
+Derived layers cascade through key composition: the cloud, dependency,
+and observatory keys are all functions of ``_census_key()``, so a
+census perturbation re-derives them against the counterfactual crawl
+without any explicit wiring.
+
+Overlay rebuilds count under ``whatif:<layer>`` in ``BUILD_COUNTS``
+(never under the baseline layer names), which is what the cache-reuse
+accounting tests assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.api.session import Study, StudyConfig
+from repro.datasets.scenarios import (
+    CensusStudy,
+    ResidenceStudy,
+    build_census,
+    build_residence_study,
+)
+from repro.whatif.spec import Intervention, Scenario, as_scenario
+
+
+class OverlayStudy(Study):
+    """A lazy, memoized session over one counterfactual scenario.
+
+    Args:
+        baseline: the study (or bare config) the counterfactual forks
+            from.  Prebuilt studies (``Study.from_prebuilt``) are
+            rejected: their universes never entered the process caches,
+            so there is nothing for the overlay's untouched layers to
+            share.
+        scenario: a :class:`Scenario`, single intervention, spec string
+            (``"nat64:DE+accelerate:2"``), or iterable of interventions.
+    """
+
+    def __init__(
+        self,
+        baseline: Study | StudyConfig,
+        scenario: Scenario | Intervention | str,
+        *,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        if isinstance(baseline, Study):
+            if baseline._prebuilt:
+                raise ValueError(
+                    "OverlayStudy needs a config-cached baseline; prebuilt "
+                    "studies bypass the process caches the overlay shares"
+                )
+            config = baseline.config
+        else:
+            config = baseline
+        # Overlays fork one world; they do not themselves carry a sweep.
+        super().__init__(config.replace(whatif_scenarios=None), log=log)
+        self.scenario = as_scenario(scenario)
+        #: Which layers this overlay rebuilds; everything else is a
+        #: baseline cache hit.  ``census`` perturbation implicitly
+        #: re-derives cloud/dependencies/observatory via key cascade.
+        self.perturbed: frozenset[str] = self.scenario.layers()
+        self._sig = ("whatif", self.scenario.spec())
+
+    # -- key extension -----------------------------------------------------
+
+    def _count_key(self, layer: str) -> str:
+        """Overlay rebuilds count as ``whatif:<layer>``; a *missing
+        baseline* layer an overlay builds lazily (unperturbed key, so
+        the entry is shared with the baseline) still counts under the
+        plain layer name.  Derived layers follow the census cascade."""
+        perturbs = {
+            "traffic": "traffic" in self.perturbed,
+            "census": "census" in self.perturbed,
+            "cloud": "census" in self.perturbed,
+            "dependencies": "census" in self.perturbed,
+            "observatory": (
+                "observatory" in self.perturbed or "census" in self.perturbed
+            ),
+        }
+        return f"whatif:{layer}" if perturbs.get(layer, True) else layer
+
+    def _traffic_key(self) -> tuple:
+        key = super()._traffic_key()
+        return key + self._sig if "traffic" in self.perturbed else key
+
+    def _census_key(self) -> tuple:
+        key = super()._census_key()
+        return key + self._sig if "census" in self.perturbed else key
+
+    def _observatory_key(self) -> tuple:
+        # Already includes _census_key(), so a census perturbation
+        # cascades even when the fleet itself is untouched.
+        key = super()._observatory_key()
+        return key + self._sig if "observatory" in self.perturbed else key
+
+    # -- perturbed builders ------------------------------------------------
+
+    def _build_traffic(self) -> ResidenceStudy:
+        from repro.traffic.apps import build_service_catalog
+        from repro.traffic.residences import build_paper_residences
+
+        catalog: list[Any] = build_service_catalog()
+        profiles: list[Any] = build_paper_residences()
+        he_config = None
+        for intervention in self.scenario.interventions:
+            catalog = intervention.transform_catalog(catalog)
+            profiles = intervention.transform_profiles(profiles)
+            he_config = intervention.transform_he_config(he_config)
+        return build_residence_study(
+            num_days=self.config.days,
+            seed=self.config.seed,
+            residences=self.config.residences,
+            parallel=self.config.parallel,
+            catalog=catalog,
+            profiles=profiles,
+            he_config=he_config,
+        )
+
+    def _build_census(self) -> CensusStudy:
+        def mutate(ecosystem) -> None:
+            for intervention in self.scenario.interventions:
+                intervention.transform_ecosystem(ecosystem)
+
+        return build_census(
+            num_sites=self.config.sites,
+            seed=self.config.seed,
+            link_clicks=self.config.link_clicks,
+            mutate=mutate,
+        )
+
+    def _build_observatory(self, census: CensusStudy):
+        from repro.observatory.rounds import ObservatoryConfig, run_observatory
+        from repro.observatory.vantage import build_vantage_fleet
+
+        fleet = build_vantage_fleet()
+        obs_config = ObservatoryConfig(
+            num_days=self.config.days,
+            probe_interval_days=self.config.probe_interval_days,
+            max_targets=self.config.probe_targets,
+            seed=self.config.seed,
+            parallel=self.config.parallel,
+        )
+        for intervention in self.scenario.interventions:
+            fleet = intervention.transform_fleet(fleet)
+            obs_config = intervention.transform_observatory_config(obs_config)
+        return run_observatory(census.ecosystem, obs_config, fleet=fleet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OverlayStudy({self.scenario.spec()!r}, "
+            f"perturbs={sorted(self.perturbed)}, config={self.config!r})"
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.api import BUILD_COUNTS, Study, StudyConfig
+from repro.api import session as session_module
 from repro.datasets import build_residence_study
 
 
@@ -75,6 +76,53 @@ class TestLazyMemoizedBuilds:
     def test_residence_subset_flows_through(self):
         study = Study(days=3, seed=9001, residences=("A",))
         assert sorted(study.traffic.datasets) == ["A"]
+
+
+class TestCacheRegistry:
+    def test_every_module_level_cache_is_registered(self):
+        """No layer cache may dodge ``clear_caches`` (whatif overlays
+        included): every module-level ``_*_CACHE`` dict must be a value
+        of ``_ALL_CACHES``."""
+        registered = {
+            id(cache) for cache in session_module._ALL_CACHES.values()
+        }
+        module_caches = {
+            name: value
+            for name, value in vars(session_module).items()
+            if name.startswith("_") and name.endswith("_CACHE")
+            and isinstance(value, dict)
+        }
+        assert module_caches, "expected module-level layer caches"
+        unregistered = [
+            name
+            for name, cache in module_caches.items()
+            if id(cache) not in registered
+        ]
+        assert not unregistered, (
+            f"caches missing from _ALL_CACHES: {unregistered}; register "
+            "them so clear_caches() and the sweep workers cover them"
+        )
+
+    def test_clear_caches_empties_every_registered_cache(self):
+        Study(days=3, seed=9009, residences=("A",)).traffic
+        assert any(session_module._ALL_CACHES["traffic"].values())
+        session_module.clear_caches()
+        for name, cache in session_module._ALL_CACHES.items():
+            assert cache == {}, name
+
+    def test_prime_caches_rejects_unknown_layer(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            session_module.prime_caches({"warp": {}})
+
+    def test_prime_caches_seeds_entries(self):
+        config = StudyConfig(days=3, seed=9010, residences=("A",))
+        traffic = build_residence_study(num_days=3, seed=9010, residences=("A",))
+        before = BUILD_COUNTS["traffic"]
+        session_module.prime_caches(
+            {"traffic": {config.traffic_key: traffic}}
+        )
+        assert Study(config).traffic is traffic
+        assert BUILD_COUNTS["traffic"] == before
 
 
 class TestFromPrebuilt:

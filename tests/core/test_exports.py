@@ -10,7 +10,13 @@ import importlib
 
 import pytest
 
-AGGREGATORS = ["repro.core", "repro.api", "repro.datasets", "repro.observatory"]
+AGGREGATORS = [
+    "repro.core",
+    "repro.api",
+    "repro.datasets",
+    "repro.observatory",
+    "repro.whatif",
+]
 
 
 def _imported_names(module) -> set[str]:

@@ -1,0 +1,118 @@
+"""What-if artifacts and CLI surface (plus the suggestion satellite)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.api import Study, StudyConfig, registry
+
+SMALL = StudyConfig(
+    days=5, sites=110, seed=11, probe_targets=50, probe_interval_days=2,
+    whatif_scenarios=("nat64:US", "ispv6:C"),
+)
+
+WHATIF_ARTIFACTS = ("whatif", "whatif_deltas", "whatif_ranking", "whatif_sweep")
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(SMALL)
+
+
+class TestRegistry:
+    def test_whatif_artifacts_registered(self):
+        names = registry.names()
+        for name in WHATIF_ARTIFACTS:
+            assert name in names
+            assert registry.get(name).needs == frozenset({"whatif"})
+
+    def test_unknown_artifact_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean 'contrast'"):
+            registry.get("contrst")
+        with pytest.raises(KeyError, match="whatif"):
+            registry.get("whatifs")
+
+    def test_unknown_artifact_without_match_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            registry.get("zzzzzzzzzz")
+
+
+class TestArtifacts:
+    @pytest.mark.parametrize("name", WHATIF_ARTIFACTS)
+    def test_renders_text_and_json(self, study, name):
+        result = study.artifact(name)
+        assert result.name == name
+        assert result.rows
+        text = result.to_text()
+        assert "What-if" in text
+        document = json.loads(result.to_json())
+        assert document["rows"]
+
+    def test_deltas_cover_scenarios_times_countries(self, study):
+        result = study.artifact("whatif_deltas")
+        countries = len(study.whatif.frame.countries)
+        assert len(result.rows) == 2 * countries
+        by_scenario = {row["scenario"] for row in result.rows}
+        assert by_scenario == {"nat64:US", "ispv6:C"}
+
+    def test_ranking_names_the_right_movers(self, study):
+        rows = {row["country"]: row for row in study.artifact("whatif_ranking").rows}
+        assert rows["US"]["availability_scenario"] == "nat64:US"
+        assert rows["US"]["availability_delta"] > 0.0
+        assert rows["US"]["usage_scenario"] == "ispv6:C"
+
+    def test_whatif_layer_cached_once(self, study):
+        from repro.api import BUILD_COUNTS
+
+        study.whatif
+        before = BUILD_COUNTS.copy()
+        Study(SMALL).whatif
+        assert BUILD_COUNTS["whatif"] == before["whatif"]
+
+
+class TestCli:
+    def test_intervention_flags_flow_into_config(self, capsys):
+        code = main([
+            "whatif_sweep", "--days", "5", "--sites", "110", "--seed", "11",
+            "--probe-targets", "50", "--probe-interval-days", "2",
+            "--intervention", "nat64:US", "--intervention", "ispv6:C",
+            "--format", "json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["config"]["whatif_scenarios"] == ["nat64:US", "ispv6:C"]
+        rows = document["artifacts"]["whatif_sweep"]["rows"]
+        assert [row["scenario"] for row in rows] == ["nat64:US", "ispv6:C"]
+
+    def test_sweep_flag_expands_combinations(self):
+        args = build_parser().parse_args(
+            ["whatif", "--intervention", "nat64:DE", "--intervention",
+             "accelerate:2", "--sweep"]
+        )
+        assert args.sweep and args.intervention == ["nat64:DE", "accelerate:2"]
+        # the expansion itself is sweep_grid's (tested in test_sweep); here
+        # just check the CLI wires it through without error
+        from repro.whatif.sweep import sweep_grid
+
+        specs = [s.spec() for s in sweep_grid(args.intervention)]
+        assert "nat64:DE+accelerate:2" in specs
+
+    def test_bad_intervention_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["whatif", "--intervention", "teleport:DE"])
+
+    def test_sweep_without_intervention_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["whatif", "--sweep"])
+        assert "--intervention" in capsys.readouterr().err
+
+    def test_unknown_artifact_cli_suggests(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["contrst"])
+        assert "did you mean 'contrast'" in capsys.readouterr().err
+
+    def test_meta_commands_suggested_too(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lst"])
+        assert "did you mean 'list'" in capsys.readouterr().err
