@@ -41,10 +41,14 @@ from repro.api import Study, StudyConfig, clear_caches, registry
 #: ``total_wall_s`` exceeds it by more than ``--max-regression``.
 SMOKE_REFERENCE = {
     "label": "full pipeline + all artifacts (observatory + whatif default "
-    "grid) + the warm-vs-cold whatif sweep phases; ~29 s measured, "
-    "anchored at 40 s for shared-runner variance",
+    "grid) + the warm-vs-cold whatif sweep phases + the store "
+    "cold-write/warm-load phases; ~31 s measured, anchored at 42 s "
+    "for shared-runner variance",
     "config": {"days": 14, "sites": 300},
-    "total_wall_s": 40.0,
+    "total_wall_s": 42.0,
+    # The serving gate serve_load.py enforces by default: cached-artifact
+    # GETs at smoke scale must sustain at least this many requests/sec.
+    "serve_min_rps": 1000.0,
 }
 
 #: The warm-vs-cold sweep grid: observatory-only scenarios *not* in the
@@ -115,6 +119,33 @@ def main(argv: list[str] | None = None) -> int:
 
     timed("whatif:sweep_cold", cold_sweep)
 
+    # The warehouse warm-start contract, measured: persist the built
+    # layers (cold write), then rebuild the whole baseline from disk in
+    # a cache-cleared "process" (warm load) and compare against what
+    # the in-process cold build cost above.
+    import tempfile
+
+    from repro.store import set_store, snapshot_study
+
+    store_dir = tempfile.mkdtemp(prefix="repro-perf-store-")
+    store = set_store(store_dir)
+    timed("store:cold-write", lambda: snapshot_study(store, study))
+
+    def warm_load() -> None:
+        clear_caches()
+        warmed = Study(StudyConfig(days=args.days, sites=args.sites))
+        warmed.traffic, warmed.census, warmed.cloud, warmed.dependencies
+        warmed.observatory
+
+    timed("store:warm-load", warm_load)
+    set_store(None)
+    cold_build_s = sum(
+        phases[name]
+        for name in (
+            "build:traffic", "build:census", "build:cloud", "build:observatory",
+        )
+    )
+
     total = time.perf_counter() - overall_start
     sweep_warm = phases["whatif:sweep"]
     sweep_cold = phases["whatif:sweep_cold"]
@@ -140,6 +171,16 @@ def main(argv: list[str] | None = None) -> int:
             if sweep_warm > 0
             else None,
         },
+        "store": {
+            "cold_write_s": round(phases["store:cold-write"], 4),
+            "warm_load_s": round(phases["store:warm-load"], 4),
+            "cold_build_s": round(cold_build_s, 4),
+            "warm_start_speedup": round(
+                cold_build_s / phases["store:warm-load"], 2
+            )
+            if phases["store:warm-load"] > 0
+            else None,
+        },
         "total_wall_s": round(total, 3),
         "budget_s": args.budget,
         # Distinct key from the benchmark harness's per-phase "reference"
@@ -154,6 +195,10 @@ def main(argv: list[str] | None = None) -> int:
           f"total={total:.1f}s (budget {args.budget:.0f}s)")
     print(f"  whatif sweep: warm {sweep_warm:.2f}s vs cold {sweep_cold:.2f}s "
           f"({sweep_cold / max(sweep_warm, 1e-9):.1f}x cache-reuse speedup)")
+    print(f"  store: warm-load {phases['store:warm-load']:.2f}s vs cold build "
+          f"{cold_build_s:.2f}s "
+          f"({cold_build_s / max(phases['store:warm-load'], 1e-9):.1f}x "
+          f"warm-start speedup; cold write {phases['store:cold-write']:.2f}s)")
     for name, seconds in slowest:
         print(f"  {seconds:8.2f}s  {name}")
     print(f"  wrote {args.output}")

@@ -11,6 +11,14 @@ registry (every figure and table, text or JSON)::
     python -m repro fig5 --format json
     python -m repro fig13@days=160 table1 --days 28     # per-artifact scale
     python -m repro whatif --intervention nat64:DE --sweep
+
+With a warehouse attached (``--store DIR`` or ``REPRO_STORE``), builds
+persist and later processes warm-start from disk; ``repro store`` and
+``repro serve`` manage and publish it::
+
+    python -m repro store warm --store ./warehouse --days 14 --sites 300
+    python -m repro store ls --store ./warehouse
+    python -m repro serve --store ./warehouse --days 14 --sites 300
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 
 from repro.api import Study, StudyConfig, jsonify, registry
@@ -25,6 +34,23 @@ from repro.datasets.scenarios import SCALE_PRESETS
 
 #: Keywords accepted alongside registered artifact names.
 _META = ("all", "list")
+
+#: Subcommands dispatched before artifact parsing (and offered by the
+#: did-you-mean hint when a first argument matches nothing).
+_SUBCOMMANDS = ("store", "serve")
+
+
+def version_string() -> str:
+    """The installed distribution version (``--version``), with the
+    in-tree ``repro.__version__`` as the uninstalled fallback."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-ipv6-adoption")
+    except metadata.PackageNotFoundError:
+        import repro
+
+        return repro.__version__
 
 #: StudyConfig fields overridable per artifact via ``name@key=value,...``.
 _OVERRIDE_KEYS = (
@@ -59,7 +85,7 @@ def _artifact_argument(value: str) -> str:
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
     if name not in _META and name not in registry.names():
-        close = registry.suggest(name, extra=_META)
+        close = registry.suggest(name, extra=(*_META, *_SUBCOMMANDS))
         hint = (
             f"did you mean {' or '.join(repr(m) for m in close)}? "
             if close
@@ -71,20 +97,34 @@ def _artifact_argument(value: str) -> str:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate artifacts of 'Towards a Non-Binary View of "
-        "IPv6 Adoption' (IMC 2025) at a chosen scale.",
-    )
-    parser.add_argument(
-        "artifacts",
-        nargs="+",
-        type=_artifact_argument,
-        metavar="artifact",
-        help="artifact names ('list' to enumerate, 'all' for everything); "
-        "append @key=value,... for per-artifact scale overrides",
-    )
+def _subcommand_argument(known: tuple[str, ...]):
+    """A type hook rejecting unknown subcommands with a did-you-mean.
+
+    argparse turns the :class:`~argparse.ArgumentTypeError` into an
+    ``error()`` call, so unknown subcommands exit with status 2 -- the
+    same contract misspelled artifact names get.
+    """
+
+    def check(value: str) -> str:
+        if value in known:
+            return value
+        import difflib
+
+        close = difflib.get_close_matches(value, known, n=3, cutoff=0.4)
+        hint = (
+            f"did you mean {' or '.join(repr(m) for m in close)}? "
+            if close
+            else ""
+        )
+        raise argparse.ArgumentTypeError(
+            f"unknown command {value!r} ({hint}known: {', '.join(known)})"
+        )
+
+    return check
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared scale/seed knobs (artifact runs, ``store warm``, ``serve``)."""
     parser.add_argument(
         "--scale",
         choices=tuple(SCALE_PRESETS),
@@ -121,6 +161,96 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sweep", action="store_true",
                         help="expand --intervention specs into the "
                         "combination grid (each alone plus every pair)")
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact warehouse directory: layers and rendered artifacts "
+        "persist there and later runs warm-start from disk "
+        "(default: $REPRO_STORE when set)",
+    )
+
+
+def _add_version_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {version_string()}"
+    )
+
+
+def _config_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> StudyConfig:
+    """The effective StudyConfig of parsed scale flags (shared paths)."""
+    preset = SCALE_PRESETS[args.scale]
+    if args.sweep and not args.intervention:
+        parser.error(
+            "--sweep expands --intervention specs into a combination grid; "
+            "give at least one --intervention (or omit --sweep to run the "
+            "built-in default grid)"
+        )
+    try:
+        whatif_scenarios = None
+        if args.intervention:
+            if args.sweep:
+                from repro.whatif.sweep import sweep_grid
+
+                whatif_scenarios = tuple(
+                    scenario.spec() for scenario in sweep_grid(args.intervention)
+                )
+            else:
+                whatif_scenarios = tuple(args.intervention)
+        return StudyConfig(
+            days=args.days if args.days is not None else preset.days,
+            sites=args.sites if args.sites is not None else preset.sites,
+            seed=args.seed,
+            link_clicks=args.link_clicks,
+            parallel=args.parallel,
+            probe_targets=args.probe_targets,
+            probe_interval_days=args.probe_interval_days,
+            whatif_scenarios=whatif_scenarios,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _activate_store(
+    args: argparse.Namespace, parser: argparse.ArgumentParser, required: bool = False
+):
+    """Resolve ``--store`` / ``REPRO_STORE`` into the active store."""
+    from repro.store import set_store
+    from repro.store.warehouse import active_store
+
+    if args.store:
+        return set_store(args.store)
+    store = active_store()  # REPRO_STORE, when set
+    if store is None and required:
+        parser.error(
+            "no store directory: pass --store DIR or set REPRO_STORE"
+        )
+    return store
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of 'Towards a Non-Binary View of "
+        "IPv6 Adoption' (IMC 2025) at a chosen scale.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        type=_artifact_argument,
+        metavar="artifact",
+        help="artifact names ('list' to enumerate, 'all' for everything); "
+        "append @key=value,... for per-artifact scale overrides",
+    )
+    _add_scale_arguments(parser)
+    _add_store_argument(parser)
+    _add_version_argument(parser)
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     return parser
@@ -158,6 +288,11 @@ def _render_list(fmt: str) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "store":
+        return _store_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     requested = list(dict.fromkeys(args.artifacts))
@@ -168,36 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_list(args.format))
         return 0
 
-    preset = SCALE_PRESETS[args.scale]
-    if args.sweep and not args.intervention:
-        parser.error(
-            "--sweep expands --intervention specs into a combination grid; "
-            "give at least one --intervention (or omit --sweep to run the "
-            "built-in default grid)"
-        )
-    try:
-        whatif_scenarios = None
-        if args.intervention:
-            if args.sweep:
-                from repro.whatif.sweep import sweep_grid
-
-                whatif_scenarios = tuple(
-                    scenario.spec() for scenario in sweep_grid(args.intervention)
-                )
-            else:
-                whatif_scenarios = tuple(args.intervention)
-        base = StudyConfig(
-            days=args.days if args.days is not None else preset.days,
-            sites=args.sites if args.sites is not None else preset.sites,
-            seed=args.seed,
-            link_clicks=args.link_clicks,
-            parallel=args.parallel,
-            probe_targets=args.probe_targets,
-            probe_interval_days=args.probe_interval_days,
-            whatif_scenarios=whatif_scenarios,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
+    _activate_store(args, parser)
+    base = _config_from_args(args, parser)
 
     # Expand "all" in place, keeping explicit (possibly overridden) entries.
     expanded: list[str] = []
@@ -248,6 +355,176 @@ def main(argv: list[str] | None = None) -> int:
                 print("\n" + "=" * 72 + "\n")
             print(result.to_text())
     return 0
+
+
+def _store_main(argv: list[str]) -> int:
+    """``python -m repro store {ls,verify,gc,warm}`` -- warehouse ops."""
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Inspect and maintain the on-disk artifact warehouse.",
+    )
+    parser.add_argument(
+        "command",
+        type=_subcommand_argument(("ls", "verify", "gc", "warm")),
+        metavar="command",
+        help="ls (list entries) | verify (integrity-check every entry) | "
+        "gc (drop broken/stale entries, rebuild the index) | "
+        "warm (build a configuration's layers + artifacts into the store)",
+    )
+    _add_store_argument(parser)
+    _add_version_argument(parser)
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="ls output format (default: text)")
+    parser.add_argument(
+        "--layers",
+        default=None,
+        metavar="L1,L2,...",
+        help="warm: layers to persist (default: traffic,census,cloud,"
+        "dependencies,observatory; add whatif for the sweep)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default="all",
+        metavar="NAME1,NAME2,...|all|none",
+        help="warm: rendered artifacts to persist (default: all)",
+    )
+    _add_scale_arguments(parser)
+    args = parser.parse_args(argv)
+    store = _activate_store(args, parser, required=True)
+    if args.command in ("ls", "verify", "gc") and not store.exists:
+        # A read-only command on a mistyped path must not silently
+        # "verify" a store that was never written (and must not create
+        # one as a side effect).
+        parser.error(
+            f"no store at {store.root} (build one with 'repro store warm')"
+        )
+
+    if args.command == "ls":
+        entries = sorted(store.entries(), key=lambda e: (e.kind, e.name, e.digest))
+        if args.format == "json":
+            print(json.dumps(
+                {
+                    "root": str(store.root),
+                    "entries": [
+                        {
+                            "digest": entry.digest,
+                            "kind": entry.kind,
+                            "name": entry.name,
+                            "key": entry.key,
+                            "bytes": entry.total_bytes,
+                            "created_at": entry.created_at,
+                            "repro_version": entry.repro_version,
+                        }
+                        for entry in entries
+                    ],
+                },
+                indent=2,
+            ))
+            return 0
+        from repro.util.tables import TextTable
+
+        table = TextTable(
+            ["kind", "name", "digest", "bytes", "created"],
+            title=f"{store.root} -- {len(entries)} entries, "
+            f"{store.total_bytes():,} bytes",
+        )
+        for entry in entries:
+            table.add_row([
+                entry.kind, entry.name, entry.digest[:12],
+                f"{entry.total_bytes:,}", entry.created_at,
+            ])
+        print(table.render())
+        return 0
+
+    if args.command == "verify":
+        problems = store.verify()
+        for problem in problems:
+            print(f"store verify: {problem}", file=sys.stderr)
+        print(
+            f"store verify: {len(store.entries())} entries, "
+            f"{len(problems)} problem(s)"
+        )
+        return 1 if problems else 0
+
+    if args.command == "gc":
+        removed = store.gc()
+        for item in removed:
+            print(f"store gc: removed {item}")
+        print(f"store gc: {len(removed)} removed, "
+              f"{len(store.entries())} entries kept")
+        return 0
+
+    # warm: build the configuration into the store, layers then artifacts.
+    from repro.serve.service import artifact_document
+    from repro.store import artifact_key, snapshot_study
+    from repro.store.warehouse import DEFAULT_SNAPSHOT_LAYERS
+
+    config = _config_from_args(args, parser)
+    layers = (
+        tuple(part for part in args.layers.split(",") if part)
+        if args.layers is not None
+        else DEFAULT_SNAPSHOT_LAYERS
+    )
+    artifact_names: list[str] = []
+    if args.artifacts == "all":
+        artifact_names = registry.names()
+    elif args.artifacts != "none":
+        artifact_names = [part for part in args.artifacts.split(",") if part]
+        unknown = [name for name in artifact_names if name not in registry.names()]
+        if unknown:
+            parser.error(f"unknown artifacts: {', '.join(unknown)}")
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    study = Study(config, log=log)
+    try:
+        entries = snapshot_study(store, study, layers)
+    except ValueError as exc:
+        parser.error(str(exc))
+    for layer, entry in entries.items():
+        log(f"# stored {layer}: {entry.digest[:12]} ({entry.total_bytes:,} bytes)")
+    for name in artifact_names:
+        store.save_artifact(name, artifact_key(config, name),
+                            artifact_document(study, name))
+    log(
+        f"# warm: {len(entries)} layers + {len(artifact_names)} artifacts -> "
+        f"{store.root} ({store.total_bytes():,} bytes)"
+    )
+    return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``python -m repro serve`` -- the asyncio HTTP serving layer."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the artifact registry over HTTP (read-only JSON "
+        "API with ETag revalidation), backed by the warehouse.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port (default: 8080; 0 picks a free port)")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip the background warmer (artifacts render "
+                        "on first request instead)")
+    _add_store_argument(parser)
+    _add_version_argument(parser)
+    _add_scale_arguments(parser)
+    args = parser.parse_args(argv)
+    store = _activate_store(args, parser)
+    config = _config_from_args(args, parser)
+
+    from repro.serve import ArtifactService, run_server
+
+    service = ArtifactService(config, store=store)
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    return run_server(
+        service, args.host, args.port, warm=not args.no_warm, log=log
+    )
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ and immediately appear in ``python -m repro list``.
 from repro.api.registry import ArtifactResult, ArtifactSpec, artifact, jsonify
 from repro.api.session import (
     BUILD_COUNTS,
+    STORE_COUNTS,
     Study,
     StudyConfig,
     clear_caches,
@@ -31,6 +32,7 @@ __all__ = [
     "ArtifactResult",
     "ArtifactSpec",
     "BUILD_COUNTS",
+    "STORE_COUNTS",
     "Study",
     "StudyConfig",
     "artifact",

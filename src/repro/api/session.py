@@ -43,8 +43,66 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: How many times each layer has actually been *built* (cache misses).
 #: Tests assert on deltas of this counter to prove memoization works.
 #: Overlay (whatif) rebuilds count under ``whatif:<layer>`` keys, so a
-#: sweep never inflates the baseline layer counters.
+#: sweep never inflates the baseline layer counters.  A layer loaded
+#: from the on-disk store is *not* a build: it counts in
+#: :data:`STORE_COUNTS` instead.
 BUILD_COUNTS: Counter = Counter()
+
+#: Disk-tier traffic, when a store is active (``repro.store``):
+#: ``hit:<layer>`` / ``miss:<layer>`` on reads, ``write:<layer>`` on
+#: write-behind, ``error:<layer>`` when a corrupt entry fell back to a
+#: rebuild.
+STORE_COUNTS: Counter = Counter()
+
+
+def _store_load(layer: str, key: tuple) -> Any | None:
+    """Read-through: fetch a layer from the active store (miss = None).
+
+    A corrupt entry (checksum failure) is a warning and a miss -- the
+    session rebuilds rather than dying on a damaged warehouse.
+    """
+    from repro.store.warehouse import active_store
+
+    store = active_store()
+    if store is None:
+        return None
+    try:
+        value = store.load_layer(layer, key)
+    except Exception as exc:
+        import warnings
+
+        STORE_COUNTS[f"error:{layer}"] += 1
+        warnings.warn(
+            f"store: could not load the {layer} layer ({exc}); rebuilding",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    STORE_COUNTS[("hit:" if value is not None else "miss:") + layer] += 1
+    return value
+
+
+def _store_save(layer: str, key: tuple, value: Any) -> None:
+    """Write-behind: persist a freshly built layer (failures are warnings)."""
+    from repro.store.warehouse import active_store
+
+    store = active_store()
+    if store is None:
+        return
+    try:
+        store.save_layer(layer, key, value)
+    except Exception as exc:
+        import warnings
+
+        STORE_COUNTS[f"error:{layer}"] += 1
+        warnings.warn(
+            f"store: could not persist the {layer} layer ({exc}); "
+            "continuing without write-behind",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return
+    STORE_COUNTS[f"write:{layer}"] += 1
 
 _TRAFFIC_CACHE: dict[tuple, ResidenceStudy] = {}
 _CENSUS_CACHE: dict[tuple, CensusStudy] = {}
@@ -160,6 +218,24 @@ class StudyConfig:
     def replace(self, **changes: Any) -> "StudyConfig":
         """A copy with ``changes`` applied (and re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    @property
+    def result_key(self) -> tuple:
+        """Everything that determines *results* (``parallel`` does not:
+        parallel and sequential builds are bit-identical).  Keys the
+        rendered-artifact entries of the store and the serving layer's
+        caches, the same way the layer keys key the session caches."""
+        return (
+            "config",
+            self.days,
+            self.sites,
+            self.seed,
+            self.link_clicks,
+            self.residences,
+            self.probe_targets,
+            self.probe_interval_days,
+            self.whatif_scenarios,
+        )
 
     @property
     def traffic_key(self) -> tuple:
@@ -320,68 +396,94 @@ class Study:
             ),
         )
 
+    def _resolve_layer(
+        self, layer: str, key: tuple, build: Callable[[], Any], message: str
+    ) -> Any:
+        """Memory -> disk -> build, the tiering every layer shares.
+
+        On a process-cache miss the active store (if any) is consulted
+        first; only a disk miss actually builds (and the fresh value is
+        written behind).  ``BUILD_COUNTS`` counts builds only -- a disk
+        hit shows up in :data:`STORE_COUNTS` instead, which is what the
+        warm-start tests key on.
+        """
+        cache = _ALL_CACHES[layer]
+        if key not in cache:
+            value = _store_load(layer, key)
+            if value is None:
+                self._say(message)
+                BUILD_COUNTS[self._count_key(layer)] += 1
+                value = build()
+                _store_save(layer, key, value)
+            cache[key] = value
+        return cache[key]
+
     # -- the layers --------------------------------------------------------
 
     @property
     def traffic(self) -> ResidenceStudy:
         """The five-residence traffic study (built on first access)."""
         if self._traffic is None:
-            key = self._traffic_key()
-            if key not in _TRAFFIC_CACHE:
-                self._say(
-                    f"# generating {self.config.days} days of residential traffic ..."
-                )
-                BUILD_COUNTS[self._count_key("traffic")] += 1
-                _TRAFFIC_CACHE[key] = self._build_traffic()
-            self._traffic = _TRAFFIC_CACHE[key]
+            self._traffic = self._resolve_layer(
+                "traffic",
+                self._traffic_key(),
+                self._build_traffic,
+                f"# generating {self.config.days} days of residential traffic ...",
+            )
         return self._traffic
 
     @property
     def census(self) -> CensusStudy:
         """The crawled web census (built on first access)."""
         if self._census is None:
-            key = self._census_key()
-            if key not in _CENSUS_CACHE:
-                self._say(f"# crawling a {self.config.sites}-site universe ...")
-                BUILD_COUNTS[self._count_key("census")] += 1
-                _CENSUS_CACHE[key] = self._build_census()
-            self._census = _CENSUS_CACHE[key]
+            self._census = self._resolve_layer(
+                "census",
+                self._census_key(),
+                self._build_census,
+                f"# crawling a {self.config.sites}-site universe ...",
+            )
         return self._census
 
     @property
     def cloud(self) -> dict[str, "DomainCloudView"]:
         """Per-FQDN cloud attribution of the census (section 5)."""
         if self._cloud is None:
-            key = self._census_key()
-            if self._prebuilt or key not in _CLOUD_CACHE:
+            def build() -> dict[str, "DomainCloudView"]:
                 census = self.census
-                self._say("# attributing crawled FQDNs to cloud organizations ...")
-                BUILD_COUNTS[self._count_key("cloud")] += 1
-                views = attribute_domains(
+                return attribute_domains(
                     census.dataset, census.ecosystem.routing, census.ecosystem.registry
                 )
-                if self._prebuilt:
-                    self._cloud = views
-                    return self._cloud
-                _CLOUD_CACHE[key] = views
-            self._cloud = _CLOUD_CACHE[key]
+
+            message = "# attributing crawled FQDNs to cloud organizations ..."
+            if self._prebuilt:
+                # Prebuilt universes never enter the config-keyed caches
+                # (their true seed/scale are unknown) -- and for the same
+                # reason they must bypass the store.
+                self._say(message)
+                BUILD_COUNTS[self._count_key("cloud")] += 1
+                self._cloud = build()
+            else:
+                self._cloud = self._resolve_layer(
+                    "cloud", self._census_key(), build, message
+                )
         return self._cloud
 
     @property
     def dependencies(self) -> "DependencyAnalysis":
         """The section-4.3 dependency analysis of the census."""
         if self._deps is None:
-            key = self._census_key()
-            if self._prebuilt or key not in _DEPS_CACHE:
-                census = self.census
-                self._say("# analyzing IPv4-only dependencies of partial sites ...")
+            def build() -> "DependencyAnalysis":
+                return analyze_dependencies(self.census.dataset)
+
+            message = "# analyzing IPv4-only dependencies of partial sites ..."
+            if self._prebuilt:
+                self._say(message)
                 BUILD_COUNTS[self._count_key("dependencies")] += 1
-                analysis = analyze_dependencies(census.dataset)
-                if self._prebuilt:
-                    self._deps = analysis
-                    return self._deps
-                _DEPS_CACHE[key] = analysis
-            self._deps = _DEPS_CACHE[key]
+                self._deps = build()
+            else:
+                self._deps = self._resolve_layer(
+                    "dependencies", self._census_key(), build, message
+                )
         return self._deps
 
     @property
@@ -395,20 +497,21 @@ class Study:
         other layer.
         """
         if self._observatory is None:
-            key = self._observatory_key()
-            if self._prebuilt or key not in _OBSERVATORY_CACHE:
-                census = self.census
-                self._say(
-                    f"# probing {min(self.config.probe_targets, self.config.sites)}"
-                    " sites from the vantage fleet ..."
-                )
+            def build() -> "ObservatoryStudy":
+                return self._build_observatory(self.census)
+
+            message = (
+                f"# probing {min(self.config.probe_targets, self.config.sites)}"
+                " sites from the vantage fleet ..."
+            )
+            if self._prebuilt:
+                self._say(message)
                 BUILD_COUNTS[self._count_key("observatory")] += 1
-                study = self._build_observatory(census)
-                if self._prebuilt:
-                    self._observatory = study
-                    return self._observatory
-                _OBSERVATORY_CACHE[key] = study
-            self._observatory = _OBSERVATORY_CACHE[key]
+                self._observatory = build()
+            else:
+                self._observatory = self._resolve_layer(
+                    "observatory", self._observatory_key(), build, message
+                )
         return self._observatory
 
     @property
@@ -436,19 +539,15 @@ class Study:
                     "whatif sweeps need a config-cached baseline; prebuilt "
                     "studies bypass the process caches the overlays share"
                 )
-            key = self._whatif_key()
-            if key not in _WHATIF_CACHE:
-                scenarios = tuple(
-                    parse_scenario(spec) for spec in self._whatif_scenario_specs()
-                )
-                self._say(
-                    f"# sweeping {len(scenarios)} counterfactual scenarios ..."
-                )
-                BUILD_COUNTS[self._count_key("whatif")] += 1
-                _WHATIF_CACHE[key] = run_sweep(
-                    self, scenarios, parallel=self.config.parallel
-                )
-            self._whatif = _WHATIF_CACHE[key]
+            scenarios = tuple(
+                parse_scenario(spec) for spec in self._whatif_scenario_specs()
+            )
+            self._whatif = self._resolve_layer(
+                "whatif",
+                self._whatif_key(),
+                lambda: run_sweep(self, scenarios, parallel=self.config.parallel),
+                f"# sweeping {len(scenarios)} counterfactual scenarios ...",
+            )
         return self._whatif
 
     def artifact(self, name: str, **params: Any) -> "ArtifactResult":

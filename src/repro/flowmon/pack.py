@@ -1,0 +1,293 @@
+"""Columnar packing of the record-oriented flow log, for the warehouse.
+
+A :class:`~repro.flowmon.monitor.FlowMonitor` at paper scale holds
+millions of :class:`~repro.flowmon.conntrack.FlowRecord` dataclasses;
+rebuilding that object graph is the dominant cost of warm-starting the
+traffic layer from disk, even though the analysis layer (post-PR 2)
+reads the columnar :class:`~repro.flowmon.frame.FlowFrame`, not the
+records.  This module makes the record log pay its reconstruction cost
+only when someone actually asks for records:
+
+* :func:`pack_daily_logs` lowers ``monitor.daily_logs`` into flat NumPy
+  columns (one row per record, plus a segment table preserving the
+  exact ``{day: {scope: [records]}}`` insertion structure) -- arrays
+  the store codec externalizes into the ``.npz`` payload;
+* :func:`unpack_daily_logs` reverses it losslessly, interning repeated
+  addresses so the rebuilt graph shares objects like the original;
+* :class:`LazyDailyLogs` is a dict that *carries* the packed columns
+  and only runs the unpack on first real access, so a warm-started
+  session whose artifacts read frames never rebuilds a single record.
+
+Round-trip fidelity is exact: same days in the same order, same scopes
+per day in the same order, same records per scope in the same order,
+equal field-for-field -- pinned by ``tests/flowmon/test_pack.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.flowmon.conntrack import FlowKey, FlowRecord, IcmpInfo, Protocol
+from repro.flowmon.monitor import FlowMonitor, FlowScope
+from repro.net.addr import Family, IpAddress
+
+#: Scope <-> code, in declaration order (same codes as the FlowFrame).
+_SCOPES: tuple[FlowScope, ...] = tuple(FlowScope)
+_SCOPE_CODE = {scope: code for code, scope in enumerate(_SCOPES)}
+
+_U64 = (1 << 64) - 1
+
+
+def pack_daily_logs(
+    daily_logs: dict[int, dict[FlowScope, list[FlowRecord]]],
+) -> dict[str, np.ndarray]:
+    """Lower a daily log into flat columns plus a segment table."""
+    seg_day: list[int] = []
+    seg_scope: list[int] = []
+    seg_count: list[int] = []
+    records: list[FlowRecord] = []
+    for day, per_scope in daily_logs.items():
+        for scope, day_records in per_scope.items():
+            seg_day.append(day)
+            seg_scope.append(_SCOPE_CODE[scope])
+            seg_count.append(len(day_records))
+            records.extend(day_records)
+
+    n = len(records)
+    protocol = np.empty(n, dtype=np.uint8)
+    family = np.empty(n, dtype=np.uint8)
+    src_hi = np.empty(n, dtype=np.uint64)
+    src_lo = np.empty(n, dtype=np.uint64)
+    dst_hi = np.empty(n, dtype=np.uint64)
+    dst_lo = np.empty(n, dtype=np.uint64)
+    sport = np.empty(n, dtype=np.uint16)
+    dport = np.empty(n, dtype=np.uint16)
+    icmp_type = np.full(n, -1, dtype=np.int16)  # -1: no IcmpInfo
+    icmp_code = np.empty(n, dtype=np.uint8)
+    icmp_id = np.empty(n, dtype=np.uint16)
+    start = np.empty(n, dtype=np.float64)
+    end = np.empty(n, dtype=np.float64)
+    bytes_out = np.empty(n, dtype=np.int64)
+    bytes_in = np.empty(n, dtype=np.int64)
+    packets_out = np.empty(n, dtype=np.int64)
+    packets_in = np.empty(n, dtype=np.int64)
+
+    for i, record in enumerate(records):
+        key = record.key
+        protocol[i] = key.protocol.value
+        family[i] = key.src.family.value
+        src = key.src.value
+        dst = key.dst.value
+        src_hi[i] = src >> 64
+        src_lo[i] = src & _U64
+        dst_hi[i] = dst >> 64
+        dst_lo[i] = dst & _U64
+        sport[i] = key.sport
+        dport[i] = key.dport
+        if key.icmp is not None:
+            icmp_type[i] = key.icmp.icmp_type
+            icmp_code[i] = key.icmp.icmp_code
+            icmp_id[i] = key.icmp.icmp_id
+        else:
+            icmp_code[i] = 0
+            icmp_id[i] = 0
+        start[i] = record.start_time
+        end[i] = record.end_time
+        bytes_out[i] = record.bytes_out
+        bytes_in[i] = record.bytes_in
+        packets_out[i] = record.packets_out
+        packets_in[i] = record.packets_in
+
+    return {
+        "seg_day": np.asarray(seg_day, dtype=np.int64),
+        "seg_scope": np.asarray(seg_scope, dtype=np.int8),
+        "seg_count": np.asarray(seg_count, dtype=np.int64),
+        "protocol": protocol,
+        "family": family,
+        "src_hi": src_hi,
+        "src_lo": src_lo,
+        "dst_hi": dst_hi,
+        "dst_lo": dst_lo,
+        "sport": sport,
+        "dport": dport,
+        "icmp_type": icmp_type,
+        "icmp_code": icmp_code,
+        "icmp_id": icmp_id,
+        "start": start,
+        "end": end,
+        "bytes_out": bytes_out,
+        "bytes_in": bytes_in,
+        "packets_out": packets_out,
+        "packets_in": packets_in,
+    }
+
+
+def unpack_daily_logs(
+    packed: dict[str, np.ndarray],
+) -> dict[int, dict[FlowScope, list[FlowRecord]]]:
+    """Rebuild the exact ``{day: {scope: [records]}}`` structure."""
+    by_protocol = {p.value: p for p in Protocol}
+    by_family = {f.value: f for f in Family}
+    addresses: dict[tuple[int, int], IpAddress] = {}
+
+    def address(family_code: int, hi: int, lo: int) -> IpAddress:
+        value = (hi << 64) | lo
+        cache_key = (family_code, value)
+        cached = addresses.get(cache_key)
+        if cached is None:
+            cached = addresses[cache_key] = IpAddress(by_family[family_code], value)
+        return cached
+
+    protocol = packed["protocol"].tolist()
+    family = packed["family"].tolist()
+    src_hi = packed["src_hi"].tolist()
+    src_lo = packed["src_lo"].tolist()
+    dst_hi = packed["dst_hi"].tolist()
+    dst_lo = packed["dst_lo"].tolist()
+    sport = packed["sport"].tolist()
+    dport = packed["dport"].tolist()
+    icmp_type = packed["icmp_type"].tolist()
+    icmp_code = packed["icmp_code"].tolist()
+    icmp_id = packed["icmp_id"].tolist()
+    start = packed["start"].tolist()
+    end = packed["end"].tolist()
+    bytes_out = packed["bytes_out"].tolist()
+    bytes_in = packed["bytes_in"].tolist()
+    packets_out = packed["packets_out"].tolist()
+    packets_in = packed["packets_in"].tolist()
+
+    daily_logs: dict[int, dict[FlowScope, list[FlowRecord]]] = {}
+    i = 0
+    for day, scope_code, count in zip(
+        packed["seg_day"].tolist(),
+        packed["seg_scope"].tolist(),
+        packed["seg_count"].tolist(),
+    ):
+        segment: list[FlowRecord] = []
+        for _ in range(count):
+            icmp = (
+                IcmpInfo(icmp_type[i], icmp_code[i], icmp_id[i])
+                if icmp_type[i] >= 0
+                else None
+            )
+            key = FlowKey(
+                protocol=by_protocol[protocol[i]],
+                src=address(family[i], src_hi[i], src_lo[i]),
+                dst=address(family[i], dst_hi[i], dst_lo[i]),
+                sport=sport[i],
+                dport=dport[i],
+                icmp=icmp,
+            )
+            segment.append(
+                FlowRecord(
+                    key=key,
+                    start_time=start[i],
+                    end_time=end[i],
+                    bytes_out=bytes_out[i],
+                    bytes_in=bytes_in[i],
+                    packets_out=packets_out[i],
+                    packets_in=packets_in[i],
+                )
+            )
+            i += 1
+        daily_logs.setdefault(day, {})[_SCOPES[scope_code]] = segment
+    return daily_logs
+
+
+class LazyDailyLogs(dict):
+    """A daily log that unpacks its columns on first real access.
+
+    Behaves exactly like the dict it lowers to (it *is* one after
+    materialization); until then it weighs a handful of NumPy arrays.
+    Every reading or writing dict operation triggers the unpack.
+    """
+
+    def __init__(self, packed: dict[str, np.ndarray]) -> None:
+        super().__init__()
+        self._packed: dict[str, np.ndarray] | None = packed
+
+    @property
+    def materialized(self) -> bool:
+        return self._packed is None
+
+    def _materialize(self) -> None:
+        if self._packed is not None:
+            packed, self._packed = self._packed, None
+            super().update(unpack_daily_logs(packed))
+
+    def __reduce__(self):
+        # Re-pickles (plain pickle, pool transfers) lower to an ordinary
+        # dict; the store codec re-packs through the monitor reducer
+        # before this would ever run.
+        self._materialize()
+        return (dict, (), None, None, iter(self.items()))
+
+    def __repr__(self) -> str:
+        if self._packed is not None:
+            return f"LazyDailyLogs(<packed, {len(self._packed['seg_day'])} segments>)"
+        return super().__repr__()
+
+
+def _lazify(method_name: str):
+    base = getattr(dict, method_name)
+
+    def method(self: LazyDailyLogs, *args: Any, **kwargs: Any):
+        self._materialize()
+        return base(self, *args, **kwargs)
+
+    method.__name__ = method_name
+    return method
+
+
+for _name in (
+    "__getitem__", "__setitem__", "__delitem__", "__contains__", "__iter__",
+    "__len__", "__eq__", "__ne__", "__or__", "__ror__", "__ior__",
+    "get", "keys", "values", "items", "setdefault", "pop", "popitem",
+    "update", "clear", "copy",
+):
+    setattr(LazyDailyLogs, _name, _lazify(_name))
+
+
+def reduce_monitor(monitor: FlowMonitor) -> tuple:
+    """A pickle reduction that packs the record log columnarly.
+
+    Used by the store codec's ``reducer_override``: the packed arrays
+    ride the ``.npz`` payload, the cached frame (the analysis layer's
+    actual input) survives, and the transient ``records()`` memo is
+    dropped.  :func:`restore_monitor` rebuilds a monitor whose log is a
+    :class:`LazyDailyLogs`.
+    """
+    packed = pack_daily_logs(monitor.daily_logs)
+    return (
+        restore_monitor,
+        (
+            monitor.config,
+            packed,
+            monitor.records_seen,
+            monitor.version,
+            monitor._frame_cache,
+        ),
+    )
+
+
+def restore_monitor(
+    config: Any,
+    packed: dict[str, np.ndarray],
+    records_seen: int,
+    version: int,
+    frame_cache: Any,
+) -> FlowMonitor:
+    monitor = FlowMonitor(config=config)
+    monitor.daily_logs = LazyDailyLogs(packed)
+    monitor.records_seen = records_seen
+    monitor.version = version
+    monitor._frame_cache = frame_cache
+    return monitor
+
+
+def is_still_packed(monitor: FlowMonitor) -> bool:
+    """True while the monitor's log is still packed (test/introspection)."""
+    logs = monitor.daily_logs
+    return isinstance(logs, LazyDailyLogs) and not logs.materialized

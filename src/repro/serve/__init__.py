@@ -1,0 +1,39 @@
+"""repro.serve: the read-only HTTP layer over the artifact registry.
+
+An :class:`ArtifactService` resolves API requests (artifact documents,
+the per-country contrast, health) through an in-memory hot cache, the
+:mod:`repro.store` warehouse, and finally the lazy session; the asyncio
+front end in :mod:`repro.serve.http` puts it on a socket::
+
+    python -m repro serve --store ./warehouse --days 14 --sites 300
+
+    GET /healthz
+    GET /v1/artifacts
+    GET /v1/artifact/contrast?days=14&sites=300
+    GET /v1/contrast/DE
+
+Content digests double as strong ETags, so trackers polling the feeds
+revalidate with ``If-None-Match`` and pay a 304, not a re-render --
+the ipv6.watch-style "precomputed per-country JSON, served cheap"
+model from the related work.
+"""
+
+from repro.serve.http import handle_connection, run_server, start_server
+from repro.serve.service import (
+    ArtifactService,
+    Response,
+    ServiceError,
+    artifact_document,
+    etag_matches,
+)
+
+__all__ = [
+    "ArtifactService",
+    "Response",
+    "ServiceError",
+    "artifact_document",
+    "etag_matches",
+    "handle_connection",
+    "run_server",
+    "start_server",
+]

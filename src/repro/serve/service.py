@@ -1,0 +1,502 @@
+"""The serving core: HTTP-shaped request resolution, no sockets.
+
+:class:`ArtifactService` maps read-only API requests onto the artifact
+registry, the :class:`~repro.api.session.Study` session, and the
+warehouse::
+
+    GET /healthz                      liveness + cache/warmer state
+    GET /v1/artifacts                 the registry listing (names, layers)
+    GET /v1/artifact/<name>?days=7    one rendered artifact as JSON
+    GET /v1/contrast/<country>        one country's three-way contrast row
+
+Responses are canonical JSON bytes with a strong ``ETag`` derived from
+the content digest; ``If-None-Match`` revalidation returns ``304``, and
+bodies compress with gzip when the client accepts it.  Resolution is a
+three-tier read: an in-memory **hot cache** of encoded responses, then
+the warehouse's rendered-artifact entries, then an actual compute
+through the session (which itself reads through the warehouse for layer
+payloads and writes freshly rendered artifacts behind).
+
+The class is deliberately socket-free -- the asyncio front end
+(:mod:`repro.serve.http`) calls :meth:`handle`, and tests can drive the
+full semantics (routing, ETags, gzip, error suggestions) without a
+server.  Everything here is thread-safe: the hot path takes no locks
+and computes serialize behind one build lock, so the event loop can
+answer cached requests while an executor thread renders a cold one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.api import Study, StudyConfig, jsonify, registry
+from repro.datasets.scenarios import SCALE_PRESETS
+
+#: Config fields a request may override via query parameters -- the
+#: same set the CLI's ``name@key=value`` overrides accept.
+QUERY_OVERRIDES = (
+    "days",
+    "sites",
+    "seed",
+    "link_clicks",
+    "probe_targets",
+    "probe_interval_days",
+)
+
+#: Bodies below this size are served identity-encoded even to
+#: gzip-accepting clients (the header overhead would exceed the win).
+MIN_GZIP_BYTES = 256
+
+#: The public endpoint table (rendered into listings and 404 bodies).
+ENDPOINTS = (
+    "/healthz",
+    "/v1/artifacts",
+    "/v1/artifact/<name>",
+    "/v1/contrast/<country>",
+)
+
+
+def _server_version() -> str:
+    import repro
+
+    return f"repro-serve/{getattr(repro, '__version__', '0')}"
+
+
+def artifact_document(study: Study, name: str) -> dict:
+    """The wire-format document of one artifact: config + rendered result.
+
+    The single definition shared by the serving path and ``repro store
+    warm`` -- a document rendered into the warehouse offline is
+    byte-identical to what a cold server would have computed, so ETags
+    agree no matter which side did the work.
+    """
+    result = study.artifact(name)
+    config = dataclasses.asdict(study.config)
+    # ``parallel`` affects build speed, never results (and it does not
+    # key the store) -- normalize it so documents rendered by a
+    # parallel warm and a sequential server are byte-identical.
+    config["parallel"] = None
+    return {"config": jsonify(config), **result.to_dict()}
+
+
+@dataclass(frozen=True)
+class Response:
+    """One resolved response: status, headers, body bytes."""
+
+    status: int
+    headers: tuple[tuple[str, str], ...]
+    body: bytes
+
+    def header(self, name: str) -> str | None:
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    def json(self) -> Any:
+        """Decode the (possibly gzipped) body as JSON -- test helper."""
+        body = self.body
+        if self.header("Content-Encoding") == "gzip":
+            body = gzip.decompress(body)
+        return json.loads(body.decode("utf-8"))
+
+
+class ServiceError(Exception):
+    """A request that resolves to an error response."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error", f"HTTP {status}"))
+        self.status = status
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class _Encoded:
+    """One cacheable response body: canonical JSON, gzip twin, ETag."""
+
+    body: bytes
+    gzipped: bytes | None
+    etag: str
+
+    @classmethod
+    def from_document(cls, document: dict) -> "_Encoded":
+        body = json.dumps(document, separators=(",", ":")).encode("utf-8")
+        etag = f'"{hashlib.sha256(body).hexdigest()[:20]}"'
+        gzipped = (
+            gzip.compress(body, compresslevel=6, mtime=0)
+            if len(body) >= MIN_GZIP_BYTES
+            else None
+        )
+        return cls(body=body, gzipped=gzipped, etag=etag)
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match`` comparison (weak tags compare equal)."""
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+@dataclass
+class WarmerState:
+    """Progress of the background warmer (reported by ``/healthz``)."""
+
+    enabled: bool = True
+    done: bool = False
+    warmed: int = 0
+    total: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class ArtifactService:
+    """Resolves API requests against one base configuration.
+
+    Args:
+        config: the default :class:`StudyConfig` requests resolve
+            against; query parameters fork per-request copies.
+        store: warehouse for layer payloads and rendered artifacts
+            (``None`` uses the process-wide active store, which may
+            itself be ``None`` -- the service then serves from memory
+            only).
+        hot_limit: max encoded responses kept in the in-memory cache.
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        store: Any = None,
+        hot_limit: int = 512,
+    ) -> None:
+        from repro.store.warehouse import active_store
+
+        self.config = config if config is not None else StudyConfig()
+        self.store = store if store is not None else active_store()
+        self.hot_limit = hot_limit
+        self.started_at = time.time()
+        self.requests = 0
+        self.warmer = WarmerState()
+        self._hot: OrderedDict[tuple, _Encoded] = OrderedDict()
+        self._hot_lock = threading.Lock()
+        self._build_lock = threading.Lock()
+        self._studies: dict[StudyConfig, Study] = {}
+
+    # -- request entry points ----------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str] | None = None,
+        hot_only: bool = False,
+    ) -> Response | None:
+        """Resolve one request; the single entry point of the service.
+
+        ``hot_only=True`` is the event loop's fast path: it returns
+        ``None`` instead of computing, so the caller can retry in an
+        executor thread without ever blocking the loop on a build.
+        """
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        try:
+            if method not in ("GET", "HEAD"):
+                raise ServiceError(
+                    405,
+                    {
+                        "error": f"method {method} not allowed; this API is read-only",
+                        "allow": ["GET", "HEAD"],
+                    },
+                )
+            split = urlsplit(target)
+            path = unquote(split.path)
+            encoded = self._resolve(path, split.query, hot_only)
+            if encoded is None:
+                return None  # hot_only miss: caller re-runs off-loop
+        except ServiceError as error:
+            self.requests += 1
+            encoded = _Encoded.from_document(error.payload)
+            return self._respond(error.status, encoded, method, headers, cache=False)
+        except Exception as exc:  # never kill the connection on a bug
+            self.requests += 1
+            encoded = _Encoded.from_document(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+            return self._respond(500, encoded, method, headers, cache=False)
+        self.requests += 1
+        return self._respond(200, encoded, method, headers, cache=True)
+
+    def _resolve(self, path: str, query: str, hot_only: bool) -> _Encoded | None:
+        if path in ("/healthz", "/health"):
+            return _Encoded.from_document(self.health())
+        if path in ("/v1/artifacts", "/v1/artifacts/"):
+            return self._listing()
+        if path.startswith("/v1/artifact/"):
+            name = path[len("/v1/artifact/"):]
+            return self._artifact(name, query, hot_only)
+        if path.startswith("/v1/contrast/"):
+            country = path[len("/v1/contrast/"):]
+            return self._contrast(country, query, hot_only)
+        raise ServiceError(
+            404,
+            {"error": f"unknown path {path!r}", "endpoints": list(ENDPOINTS)},
+        )
+
+    def _respond(
+        self,
+        status: int,
+        encoded: _Encoded,
+        method: str,
+        headers: dict[str, str],
+        cache: bool,
+    ) -> Response:
+        out: list[tuple[str, str]] = [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Server", _server_version()),
+        ]
+        if cache:
+            out.append(("ETag", encoded.etag))
+            out.append(("Cache-Control", "public, max-age=0, must-revalidate"))
+            out.append(("Vary", "Accept-Encoding"))
+            if etag_matches(headers.get("if-none-match"), encoded.etag):
+                return Response(status=304, headers=tuple(out), body=b"")
+        body = encoded.body
+        if (
+            encoded.gzipped is not None
+            and "gzip" in headers.get("accept-encoding", "").lower()
+        ):
+            out.append(("Content-Encoding", "gzip"))
+            body = encoded.gzipped
+        if method == "HEAD":
+            out.append(("Content-Length", str(len(body))))
+            body = b""
+        return Response(status=status, headers=tuple(out), body=body)
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` document (always computed fresh, never cached)."""
+        with self._hot_lock:
+            hot = len(self._hot)
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": self.requests,
+            "artifacts": len(registry.names()),
+            "hot_cache": hot,
+            "store": str(self.store.root) if self.store is not None else None,
+            "warmer": {
+                "enabled": self.warmer.enabled,
+                "done": self.warmer.done,
+                "warmed": self.warmer.warmed,
+                "total": self.warmer.total,
+            },
+            "config": jsonify(dataclasses.asdict(self.config)),
+        }
+
+    def _listing(self) -> _Encoded:
+        key = ("listing",)
+        hit = self._hot_get(key)
+        if hit is not None:
+            return hit
+        document = {
+            "endpoints": list(ENDPOINTS),
+            "config": jsonify(dataclasses.asdict(self.config)),
+            "artifacts": [
+                {
+                    "name": spec.name,
+                    "title": spec.title,
+                    "needs": sorted(spec.needs),
+                    "paper": spec.paper,
+                    "description": spec.description,
+                    "href": f"/v1/artifact/{spec.name}",
+                }
+                for spec in registry.specs()
+            ],
+        }
+        return self._hot_put(key, _Encoded.from_document(document))
+
+    def _artifact(self, name: str, query: str, hot_only: bool) -> _Encoded | None:
+        if not name or "/" in name:
+            raise ServiceError(
+                404,
+                {"error": f"bad artifact path {name!r}", "endpoints": list(ENDPOINTS)},
+            )
+        if name not in registry.names():
+            close = registry.suggest(name)
+            payload: dict[str, Any] = {"error": f"unknown artifact {name!r}"}
+            if close:
+                payload["did_you_mean"] = close
+            payload["see"] = "/v1/artifacts"
+            raise ServiceError(404, payload)
+        config = self._config_from_query(query)
+        key = ("artifact", name, config.result_key)
+        hit = self._hot_get(key)
+        if hit is not None:
+            return hit
+        if hot_only:
+            return None
+        return self._hot_put(key, self._render_artifact(name, config))
+
+    def _contrast(self, country: str, query: str, hot_only: bool) -> _Encoded | None:
+        config = self._config_from_query(query)
+        code = country.strip().upper()
+        key = ("contrast", code, config.result_key)
+        hit = self._hot_get(key)
+        if hit is not None:
+            return hit
+        if hot_only:
+            return None  # rendering the contrast may build; go off-loop
+        document = self._render_artifact("contrast", config).body
+        full = json.loads(document.decode("utf-8"))
+        rows = {row["country"]: row for row in full["rows"]}
+        if code not in rows:
+            import difflib
+
+            close = difflib.get_close_matches(code, sorted(rows), n=3, cutoff=0.3)
+            payload: dict[str, Any] = {
+                "error": f"unknown country {country!r}",
+                "countries": sorted(rows),
+            }
+            if close:
+                payload["did_you_mean"] = close
+            raise ServiceError(404, payload)
+        return self._hot_put(
+            key,
+            _Encoded.from_document(
+                {
+                    "country": code,
+                    "config": full["config"],
+                    "columns": full["columns"],
+                    "row": rows[code],
+                    "metadata": full["metadata"],
+                    "source": "/v1/artifact/contrast",
+                }
+            ),
+        )
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _config_from_query(self, query: str) -> StudyConfig:
+        """The request's effective config: base + scale preset + overrides."""
+        if not query:
+            return self.config
+        overrides: dict[str, int] = {}
+        config = self.config
+        for param, raw in parse_qsl(query, keep_blank_values=True):
+            if param == "scale":
+                if raw not in SCALE_PRESETS:
+                    raise ServiceError(
+                        400,
+                        {
+                            "error": f"unknown scale {raw!r}",
+                            "known": sorted(SCALE_PRESETS),
+                        },
+                    )
+                preset = SCALE_PRESETS[raw]
+                overrides.setdefault("days", preset.days)
+                overrides.setdefault("sites", preset.sites)
+                continue
+            if param not in QUERY_OVERRIDES:
+                import difflib
+
+                close = difflib.get_close_matches(
+                    param, [*QUERY_OVERRIDES, "scale"], n=3, cutoff=0.5
+                )
+                payload: dict[str, Any] = {
+                    "error": f"unknown parameter {param!r}",
+                    "known": ["scale", *QUERY_OVERRIDES],
+                }
+                if close:
+                    payload["did_you_mean"] = close
+                raise ServiceError(400, payload)
+            try:
+                overrides[param] = int(raw)
+            except ValueError:
+                raise ServiceError(
+                    400,
+                    {"error": f"parameter {param!r} needs an integer, got {raw!r}"},
+                ) from None
+        if overrides:
+            try:
+                config = config.replace(**overrides)
+            except ValueError as exc:
+                raise ServiceError(400, {"error": str(exc)}) from None
+        return config
+
+    def _render_artifact(self, name: str, config: StudyConfig) -> _Encoded:
+        """Warehouse -> compute: the slow tiers of the artifact path."""
+        from repro.store.warehouse import artifact_key
+
+        store_key = artifact_key(config, name) if self.store is not None else None
+        if self.store is not None:
+            try:
+                document = self.store.load_artifact(name, store_key)
+            except Exception:
+                # A corrupt warehouse entry is a miss, not an outage --
+                # recompute and serve (the same degrade-to-rebuild
+                # contract the session's layer tier has); `store gc`
+                # is the repair path for the damaged entry itself.
+                document = None
+            if document is not None:
+                return _Encoded.from_document(document)
+        with self._build_lock:
+            study = self._studies.setdefault(config, Study(config))
+            document = artifact_document(study, name)
+        if self.store is not None:
+            try:
+                self.store.save_artifact(name, store_key, document)
+            except Exception:
+                pass  # write-behind is best-effort; the render still serves
+        return _Encoded.from_document(document)
+
+    def _hot_get(self, key: tuple) -> _Encoded | None:
+        with self._hot_lock:
+            encoded = self._hot.get(key)
+            if encoded is not None:
+                self._hot.move_to_end(key)
+            return encoded
+
+    def _hot_put(self, key: tuple, encoded: _Encoded) -> _Encoded:
+        with self._hot_lock:
+            self._hot[key] = encoded
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.hot_limit:
+                self._hot.popitem(last=False)
+        return encoded
+
+    # -- the warmer ----------------------------------------------------------
+
+    def warm(self, names: Iterable[str] | None = None) -> int:
+        """Precompute (or load from the warehouse) the default artifact set.
+
+        Runs synchronously; the HTTP front end calls it from an executor
+        thread at startup so the server answers ``/healthz`` immediately
+        and artifact requests as they become warm.  Returns the number
+        of artifacts now hot.
+        """
+        wanted = list(names) if names is not None else registry.names()
+        self.warmer.total = len(wanted)
+        for name in wanted:
+            try:
+                self._artifact(name, "", hot_only=False)
+                self.warmer.warmed += 1
+            except Exception as exc:  # pragma: no cover - defensive
+                self.warmer.errors.append(f"{name}: {exc}")
+        self.warmer.done = True
+        return self.warmer.warmed

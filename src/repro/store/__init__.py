@@ -1,0 +1,50 @@
+"""repro.store: the persistent, content-addressed artifact warehouse.
+
+Session layers and rendered artifacts persist under digests of their
+exact cache keys, so a cold process warm-starts from disk instead of
+rebuilding (see :mod:`repro.store.warehouse` for the layout and
+:mod:`repro.api.session` for the read-through/write-behind wiring)::
+
+    from repro.api import Study, StudyConfig
+    from repro.store import set_store, snapshot_study, warm_start
+
+    store = set_store("./warehouse")          # or REPRO_STORE=./warehouse
+    snapshot_study(store, Study(days=14, sites=300))   # builds + persists
+    # ... new process ...
+    warm_start(store, StudyConfig(days=14, sites=300)) # primes the caches
+
+``python -m repro store {ls,verify,gc,warm}`` exposes the same
+operations on the command line, and ``python -m repro serve`` serves
+the warehouse over HTTP.
+"""
+
+from repro.store.serialize import dump_value, load_value
+from repro.store.warehouse import (
+    ArtifactStore,
+    StoreEntry,
+    StoreError,
+    StoreIntegrityError,
+    active_store,
+    artifact_key,
+    digest_key,
+    reset_store,
+    set_store,
+    snapshot_study,
+    warm_start,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreError",
+    "StoreIntegrityError",
+    "active_store",
+    "artifact_key",
+    "digest_key",
+    "dump_value",
+    "load_value",
+    "reset_store",
+    "set_store",
+    "snapshot_study",
+    "warm_start",
+]

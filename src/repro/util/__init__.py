@@ -7,6 +7,7 @@ idioms for randomness, empirical statistics, and simulated time.
 
 from repro.util.procpool import (
     POOL_UNAVAILABLE_ERRNOS,
+    fallback_contexts,
     map_in_pool,
     resolve_worker_count,
     warn_pool_fallback,
@@ -38,6 +39,7 @@ from repro.util.timeutil import (
 
 __all__ = [
     "POOL_UNAVAILABLE_ERRNOS",
+    "fallback_contexts",
     "map_in_pool",
     "resolve_worker_count",
     "warn_pool_fallback",

@@ -6,7 +6,14 @@ points) fall back to their sequential path when the host cannot run a
 fork or semaphores, fd/memory exhaustion).  The fallback used to be
 silent, so ``parallel=4`` on a sandboxed host *looked* honoured while
 quietly running inline; :func:`warn_pool_fallback` makes it a one-time
-:class:`RuntimeWarning` per context instead.
+:class:`RuntimeWarning` instead.
+
+One warning per **process**, not per fan-out: a host that cannot fork
+for traffic generation cannot fork for the observatory or a whatif
+sweep either, and three copies of the same diagnosis are noise.  The
+first fallback names its context and says the degradation applies to
+every later fan-out; the rest are recorded (:func:`fallback_contexts`)
+but silent.
 """
 
 from __future__ import annotations
@@ -34,33 +41,49 @@ POOL_UNAVAILABLE_ERRNOS = frozenset(
     }
 )
 
-#: Contexts that have already warned this process.
-_WARNED: set[str] = set()
+#: Contexts that have fallen back in this process, in order; only the
+#: first emitted the warning.
+_FELL_BACK: list[str] = []
 
 
 def warn_pool_fallback(context: str, reason: BaseException | str) -> None:
-    """Emit a one-time-per-context warning that a pool fell back inline.
+    """Emit a one-time-per-process warning that a pool fell back inline.
+
+    Pool unavailability is a property of the *host*, not of one
+    fan-out: whichever subsystem (traffic generation, observatory probe
+    rounds, a whatif sweep) hits it first warns -- once, for all of
+    them -- and later fallbacks only register in
+    :func:`fallback_contexts`.
 
     Args:
         context: which fan-out degraded (``"traffic generation"``).
         reason: the triggering exception (or a description).
     """
-    if context in _WARNED:
+    first = not _FELL_BACK
+    if context not in _FELL_BACK:
+        _FELL_BACK.append(context)
+    if not first:
         return
-    _WARNED.add(context)
     warnings.warn(
         f"{context}: process pool unavailable ({reason!s} "
         f"[{type(reason).__name__ if isinstance(reason, BaseException) else 'info'}]); "
         "falling back to the sequential path -- results are identical, "
-        "but the requested parallelism is not in effect",
+        "but the requested parallelism is not in effect (this warning is "
+        "emitted once per process; every later fan-out degrades the same "
+        "way, silently)",
         RuntimeWarning,
         stacklevel=3,
     )
 
 
+def fallback_contexts() -> tuple[str, ...]:
+    """The contexts that degraded to the sequential path, in order."""
+    return tuple(_FELL_BACK)
+
+
 def reset_pool_fallback_warnings() -> None:
-    """Forget which contexts warned (test isolation hook)."""
-    _WARNED.clear()
+    """Forget the fallbacks seen so far (test isolation hook)."""
+    _FELL_BACK.clear()
 
 
 def resolve_worker_count(parallel: bool | int | None, num_tasks: int) -> int:

@@ -1,0 +1,119 @@
+"""Golden wire-format schemas: the serving API cannot drift silently.
+
+One representative artifact per registry layer is rendered at a pinned
+smoke scale and reduced to its *schema* -- column order, metadata keys,
+and the JSON type of every row field -- which must match the committed
+golden files under ``tests/api/golden/``.  Values are free to change
+with scale or analysis fixes; the shape consumed by ``repro.serve``
+clients is not.
+
+To bless an intentional wire-format change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/api/test_artifact_schemas.py
+    git diff tests/api/golden/   # review, then commit
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import Study, StudyConfig, registry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: layer -> its representative artifact (census twice over: ``fig5`` is
+#: the pure crawl, ``table2`` exercises the cloud attribution).
+LAYER_CASES = {
+    "traffic": "table1",
+    "census": "fig5",
+    "cloud": "table2",
+    "observatory": "obs_availability",
+    "whatif": "whatif",
+}
+
+#: Pinned schema-snapshot scale: small enough for seconds-fast renders,
+#: with a one-scenario grid so the whatif layer is one cheap overlay.
+CONFIG = StudyConfig(
+    days=6,
+    sites=140,
+    probe_targets=70,
+    parallel=False,
+    whatif_scenarios=("nat64:DE",),
+)
+
+
+def json_type(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    raise TypeError(f"not a JSON value: {value!r}")  # pragma: no cover
+
+
+def schema_of(document: dict) -> dict:
+    """Reduce a rendered artifact document to its wire schema."""
+    row_types: dict[str, set] = {}
+    for row in document["rows"]:
+        for key, value in row.items():
+            row_types.setdefault(key, set()).add(json_type(value))
+    return {
+        "name": document["name"],
+        "title_type": json_type(document["title"]),
+        "columns": document["columns"],
+        "metadata_keys": sorted(document["metadata"]),
+        "row_fields": {
+            key: sorted(types) for key, types in sorted(row_types.items())
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(CONFIG)
+
+
+@pytest.mark.parametrize(
+    "layer,name", sorted(LAYER_CASES.items()), ids=lambda v: str(v)
+)
+def test_wire_schema_matches_golden(study, layer, name):
+    assert layer in registry.get(name).needs  # the case covers its layer
+    document = json.loads(study.artifact(name).to_json())
+    schema = schema_of(document)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(schema, indent=2, sort_keys=True) + "\n")
+    assert golden_path.is_file(), (
+        f"missing golden schema {golden_path}; generate it with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert schema == golden, (
+        f"the {name!r} wire format drifted from tests/api/golden/{name}.json; "
+        "if intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit "
+        "the diff"
+    )
+
+
+def test_every_layer_has_a_case():
+    assert set(LAYER_CASES) == {
+        "traffic", "census", "cloud", "observatory", "whatif",
+    }
+
+
+def test_document_envelope_is_stable(study):
+    """The outer document keys every serving client relies on."""
+    document = json.loads(study.artifact("fig5").to_json())
+    assert list(document) == ["name", "title", "columns", "rows", "metadata"]

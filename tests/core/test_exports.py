@@ -16,6 +16,8 @@ AGGREGATORS = [
     "repro.datasets",
     "repro.observatory",
     "repro.whatif",
+    "repro.store",
+    "repro.serve",
 ]
 
 

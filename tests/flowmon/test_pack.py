@@ -1,0 +1,159 @@
+"""Columnar flow-log packing: lossless, lazy, and order-preserving."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.flowmon.conntrack import FlowKey, FlowRecord, IcmpInfo, Protocol
+from repro.flowmon.monitor import FlowMonitor, FlowScope, RouterConfig
+from repro.flowmon.pack import (
+    LazyDailyLogs,
+    is_still_packed,
+    pack_daily_logs,
+    reduce_monitor,
+    unpack_daily_logs,
+)
+from repro.net.addr import IpAddress, Prefix
+
+
+def make_monitor(num_days: int = 3, flows_per_day: int = 40) -> FlowMonitor:
+    config = RouterConfig(
+        name="T",
+        lan_v4=Prefix.parse("192.168.1.0/24"),
+        lan_v6=Prefix.parse("2001:db8:77::/64"),
+    )
+    monitor = FlowMonitor(config=config)
+    lan4 = IpAddress.parse("192.168.1.10")
+    lan6 = IpAddress.parse("2001:db8:77::10")
+    for day in range(num_days):
+        base = day * 86400.0
+        for i in range(flows_per_day):
+            v6 = i % 2 == 0
+            src = lan6 if v6 else lan4
+            dst = (
+                IpAddress.v6((0x20010DB8 << 96) | (i % 7))
+                if v6
+                else IpAddress.v4((198 << 24) | (51 << 16) | (100 << 8) | (i % 7))
+            )
+            if i % 10 == 9:
+                key = FlowKey(
+                    protocol=Protocol.ICMP, src=src, dst=dst,
+                    icmp=IcmpInfo(8 if v6 else 0, 0, i),
+                )
+            else:
+                key = FlowKey(
+                    protocol=Protocol.TCP if i % 3 else Protocol.UDP,
+                    src=src, dst=dst, sport=20000 + i, dport=443,
+                )
+            monitor.observe(FlowRecord(
+                key=key,
+                start_time=base + i * 10.5,
+                end_time=base + i * 10.5 + 2.25,
+                bytes_out=100 + i,
+                bytes_in=9000 + i,
+                packets_out=3,
+                packets_in=8,
+            ))
+    return monitor
+
+
+class TestPackRoundTrip:
+    def test_lossless_and_order_preserving(self):
+        monitor = make_monitor()
+        packed = pack_daily_logs(monitor.daily_logs)
+        rebuilt = unpack_daily_logs(packed)
+        assert rebuilt == monitor.daily_logs
+        # exact iteration order, day by day, scope by scope
+        assert list(rebuilt) == list(monitor.daily_logs)
+        for day in monitor.daily_logs:
+            assert list(rebuilt[day]) == list(monitor.daily_logs[day])
+            for scope in monitor.daily_logs[day]:
+                assert rebuilt[day][scope] == monitor.daily_logs[day][scope]
+
+    def test_v6_addresses_above_64_bits_survive(self):
+        monitor = make_monitor(num_days=1, flows_per_day=4)
+        rebuilt = unpack_daily_logs(pack_daily_logs(monitor.daily_logs))
+        originals = {
+            r.key.dst for rs in monitor.daily_logs[0].values() for r in rs
+        }
+        restored = {r.key.dst for rs in rebuilt[0].values() for r in rs}
+        assert originals == restored
+        assert any(a.value >> 64 for a in restored)  # genuinely 128-bit
+
+    def test_addresses_are_interned_on_unpack(self):
+        monitor = make_monitor(num_days=2)
+        rebuilt = unpack_daily_logs(pack_daily_logs(monitor.daily_logs))
+        seen: dict = {}
+        for per_scope in rebuilt.values():
+            for records in per_scope.values():
+                for record in records:
+                    for addr in (record.key.src, record.key.dst):
+                        prev = seen.setdefault((addr.family, addr.value), addr)
+                        assert prev is addr  # one object per distinct address
+
+    def test_empty_log_packs(self):
+        assert unpack_daily_logs(pack_daily_logs({})) == {}
+
+
+class TestLazyDailyLogs:
+    def packed_logs(self):
+        monitor = make_monitor(num_days=2, flows_per_day=10)
+        return monitor.daily_logs, LazyDailyLogs(pack_daily_logs(monitor.daily_logs))
+
+    def test_materializes_on_access_only(self):
+        original, lazy = self.packed_logs()
+        assert not lazy.materialized
+        assert sorted(lazy) == sorted(original)  # iteration materializes
+        assert lazy.materialized
+        assert lazy == original
+
+    @pytest.mark.parametrize(
+        "touch",
+        [
+            lambda d: d[0],
+            lambda d: len(d),
+            lambda d: 0 in d,
+            lambda d: d.get(0),
+            lambda d: list(d.items()),
+            lambda d: d.setdefault(99, {}),
+        ],
+    )
+    def test_every_entry_point_materializes(self, touch):
+        _, lazy = self.packed_logs()
+        touch(lazy)
+        assert lazy.materialized
+
+    def test_plain_pickle_round_trips_as_dict(self):
+        original, lazy = self.packed_logs()
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert type(clone) is dict
+        assert clone == original
+
+
+class TestMonitorReduction:
+    def test_reduce_restore_round_trip_is_lazy(self):
+        monitor = make_monitor()
+        frame = monitor.frame()  # cache the columnar view
+        restore, args = reduce_monitor(monitor)
+        clone = restore(*args)
+        assert is_still_packed(clone)
+        # The analysis path needs no records: the frame survived.
+        np.testing.assert_array_equal(clone.frame().data, frame.data)
+        assert is_still_packed(clone)  # frame() did not materialize
+        assert clone.records_seen == monitor.records_seen
+        assert clone.version == monitor.version
+        # Touching records materializes and matches exactly.
+        assert clone.records() == monitor.records()
+        assert not is_still_packed(clone)
+        for scope in FlowScope:
+            assert clone.records(scope=scope) == monitor.records(scope=scope)
+
+    def test_store_codec_applies_the_reduction(self):
+        from repro.store.serialize import dump_value, load_value
+
+        monitor = make_monitor()
+        monitor.frame()
+        clone = load_value(dump_value(monitor))
+        assert is_still_packed(clone)
+        assert clone.records() == monitor.records()

@@ -205,13 +205,12 @@ class TestPoolFallbackWarning:
             run_observatory(ecosystem, config)
         reset_pool_fallback_warnings()
 
-    def test_warn_helper_is_once_per_context(self):
+    def test_warn_helper_is_once_per_process(self):
         reset_pool_fallback_warnings()
         with pytest.warns(RuntimeWarning):
             warn_pool_fallback("ctx-a", "reason")
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             warn_pool_fallback("ctx-a", "again")  # silent
-        with pytest.warns(RuntimeWarning):
-            warn_pool_fallback("ctx-b", "reason")
+            warn_pool_fallback("ctx-b", "reason")  # other subsystem: silent too
         reset_pool_fallback_warnings()

@@ -1,0 +1,132 @@
+"""The store as the session's disk tier: warm starts, fidelity, fallback.
+
+The acceptance contract of the warehouse: a cold process pointed at a
+populated store renders every artifact **JSON-equal** to the in-process
+build, with zero layer rebuilds (``BUILD_COUNTS`` unchanged, hits in
+``STORE_COUNTS``), and a damaged entry degrades to a rebuild instead of
+an error.
+"""
+
+import json
+
+import pytest
+
+from repro.api import BUILD_COUNTS, STORE_COUNTS, Study, StudyConfig, clear_caches
+from repro.api.session import _ALL_CACHES
+from repro.store import ArtifactStore, set_store, snapshot_study, warm_start
+from repro.store.serialize import PAYLOAD_FILE
+
+#: One artifact per layer (deps via ``fig7``, whatif via a one-scenario
+#: grid) -- small enough to build in seconds, wide enough to cover the
+#: whole session surface.
+ARTIFACTS = ("table1", "fig5", "table2", "fig7", "obs_availability", "contrast")
+
+CONFIG = StudyConfig(days=4, sites=110, probe_targets=50, parallel=False)
+WHATIF_CONFIG = CONFIG.replace(whatif_scenarios=("nat64:DE",))
+
+
+@pytest.fixture()
+def store(tmp_path):
+    """An active store rooted in tmp_path; always deactivated after."""
+    store = set_store(tmp_path / "warehouse")
+    clear_caches()
+    try:
+        yield store
+    finally:
+        set_store(None)
+        clear_caches()
+
+
+def render_all(config: StudyConfig) -> dict[str, dict]:
+    study = Study(config)
+    docs = {name: json.loads(study.artifact(name).to_json()) for name in ARTIFACTS}
+    docs["whatif"] = json.loads(Study(WHATIF_CONFIG).artifact("whatif").to_json())
+    return docs
+
+
+class TestWarmStartFidelity:
+    def test_disk_warm_start_is_json_identical_and_rebuild_free(self, store):
+        cold = render_all(CONFIG)
+        assert STORE_COUNTS["write:traffic"] >= 1  # write-behind happened
+
+        clear_caches()
+        for cache in _ALL_CACHES.values():
+            assert not cache  # genuinely cold in memory
+        before = BUILD_COUNTS.copy()
+        warm = render_all(CONFIG)
+
+        assert warm == cold  # bit-identical wire format
+        assert BUILD_COUNTS == before  # zero rebuilds: disk served everything
+        for layer in ("traffic", "census", "cloud", "observatory", "whatif"):
+            assert STORE_COUNTS[f"hit:{layer}"] >= 1
+
+    def test_warm_start_primes_caches_in_bulk(self, store):
+        study = Study(CONFIG)
+        snapshot_study(store, study)
+        clear_caches()
+        primed = warm_start(store, CONFIG)
+        assert set(primed) == {
+            "traffic", "census", "cloud", "dependencies", "observatory",
+        }
+        before = BUILD_COUNTS.copy()
+        fresh = Study(CONFIG)
+        fresh.traffic, fresh.census, fresh.cloud, fresh.observatory
+        assert BUILD_COUNTS == before
+
+    def test_unknown_layer_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown layer"):
+            snapshot_study(store, Study(CONFIG), ("warp",))
+        with pytest.raises(ValueError, match="unknown layer"):
+            warm_start(store, CONFIG, ("warp",))
+
+
+class TestDegradation:
+    def test_corrupt_entry_falls_back_to_rebuild_with_warning(self, store):
+        study = Study(CONFIG)
+        study.traffic  # build + write behind
+        # Corrupt the traffic payload on disk.
+        [entry] = [e for e in store.entries() if e.name == "traffic"]
+        path = store.objects_dir / entry.digest / PAYLOAD_FILE
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        clear_caches()
+        before = BUILD_COUNTS.copy()
+        with pytest.warns(RuntimeWarning, match="could not load the traffic"):
+            rebuilt = Study(CONFIG).traffic
+        assert rebuilt.num_days == CONFIG.days
+        assert BUILD_COUNTS["traffic"] == before["traffic"] + 1
+        assert STORE_COUNTS["error:traffic"] >= 1
+
+    def test_no_store_means_no_store_traffic(self, tmp_path):
+        set_store(None)
+        clear_caches()
+        before = STORE_COUNTS.copy()
+        Study(CONFIG).census
+        assert STORE_COUNTS == before
+
+
+class TestEnvResolution:
+    def test_repro_store_env_var_activates_a_store(self, tmp_path, monkeypatch):
+        from repro.store import active_store, reset_store
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        reset_store()
+        try:
+            store = active_store()
+            assert store is not None
+            assert store.root == tmp_path / "env-store"
+        finally:
+            monkeypatch.delenv("REPRO_STORE")
+            reset_store()
+
+    def test_no_env_no_store(self, monkeypatch):
+        from repro.store import active_store, reset_store
+
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        reset_store()
+        try:
+            assert active_store() is None
+        finally:
+            reset_store()

@@ -1,0 +1,182 @@
+"""The warehouse itself: addressing, codec, integrity, maintenance."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    StoreIntegrityError,
+    digest_key,
+    dump_value,
+    load_value,
+)
+from repro.store.serialize import ARRAYS_FILE, PAYLOAD_FILE
+from repro.store.warehouse import STORE_SCHEMA
+
+
+@dataclass
+class Carrier:
+    """A layer-shaped object: arrays, a shared array, plain fields."""
+
+    data: np.ndarray
+    lookup: np.ndarray
+    alias: np.ndarray  # same object as ``lookup``
+    label: str
+    numbers: tuple
+
+
+def make_carrier() -> Carrier:
+    structured = np.zeros(
+        5, dtype=np.dtype([("day", np.int32), ("bytes", np.int64)])
+    )
+    structured["day"] = np.arange(5)
+    structured["bytes"] = np.arange(5) * 1000
+    lookup = np.array([1.5, -2.5, 3.25])
+    return Carrier(
+        data=structured,
+        lookup=lookup,
+        alias=lookup,
+        label="residence-A",
+        numbers=(1, 2, 3),
+    )
+
+
+class TestCodec:
+    def test_round_trip_preserves_values_and_sharing(self):
+        files = dump_value(make_carrier())
+        assert set(files) == {PAYLOAD_FILE, ARRAYS_FILE}
+        loaded = load_value(files)
+        assert loaded.label == "residence-A"
+        assert loaded.numbers == (1, 2, 3)
+        np.testing.assert_array_equal(loaded.data["bytes"], np.arange(5) * 1000)
+        np.testing.assert_array_equal(loaded.lookup, [1.5, -2.5, 3.25])
+        # the shared array stays one object after the round trip
+        assert loaded.alias is loaded.lookup
+
+    def test_shared_arrays_stored_once(self):
+        files = dump_value(make_carrier())
+        import io
+
+        with np.load(io.BytesIO(files[ARRAYS_FILE]), allow_pickle=False) as npz:
+            names = list(npz.files)
+        assert len(names) == 2  # data + lookup; the alias is a reference
+
+    def test_arrayless_values_skip_the_npz(self):
+        files = dump_value({"plain": [1, 2, 3]})
+        assert set(files) == {PAYLOAD_FILE}
+        assert load_value(files) == {"plain": [1, 2, 3]}
+
+    def test_npz_loads_without_pickle(self):
+        """The array file must stay ``allow_pickle=False``-clean."""
+        import io
+
+        files = dump_value(make_carrier())
+        with np.load(io.BytesIO(files[ARRAYS_FILE]), allow_pickle=False) as npz:
+            for name in npz.files:
+                npz[name]  # would raise if any member needed pickle
+
+
+class TestAddressing:
+    def test_digest_is_stable_and_distinct(self):
+        key = ("traffic", 14, 42, None)
+        assert digest_key("layer", "traffic", key) == digest_key(
+            "layer", "traffic", ("traffic", 14, 42, None)
+        )
+        assert digest_key("layer", "traffic", key) != digest_key(
+            "layer", "traffic", ("traffic", 15, 42, None)
+        )
+        assert digest_key("layer", "traffic", key) != digest_key(
+            "artifact", "traffic", key
+        )
+        assert len(digest_key("layer", "traffic", key)) == 32
+
+
+class TestStoreRoundTrip:
+    def test_layer_save_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("traffic", 3, 42, None)
+        assert store.load_layer("traffic", key) is None
+        assert not store.has_layer("traffic", key)
+        entry = store.save_layer("traffic", key, make_carrier())
+        assert store.has_layer("traffic", key)
+        assert entry.kind == "layer" and entry.name == "traffic"
+        loaded = store.load_layer("traffic", key)
+        np.testing.assert_array_equal(loaded.data["day"], np.arange(5))
+
+    def test_artifact_save_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("table1", (), ("config", 3))
+        document = {"name": "table1", "rows": [{"a": 1}], "metadata": {}}
+        store.save_artifact("table1", key, document)
+        assert store.load_artifact("table1", key) == document
+        assert store.load_artifact("table1", ("other", (), ())) is None
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("census", 100, 42, 5)
+        first = store.save_layer("census", key, make_carrier())
+        second = store.save_layer("census", key, make_carrier())
+        assert first.digest == second.digest
+        assert len(store.entries()) == 1
+
+    def test_manifest_indexes_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        entry = store.save_layer("census", ("census", 1), make_carrier())
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["schema"] == STORE_SCHEMA
+        assert entry.digest in manifest["entries"]
+        assert manifest["entries"][entry.digest]["name"] == "census"
+
+
+class TestIntegrity:
+    def _corrupt(self, store: ArtifactStore, digest: str, filename: str) -> None:
+        path = store.objects_dir / digest / filename
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_corrupted_payload_refused_on_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("traffic", 3)
+        entry = store.save_layer("traffic", key, make_carrier())
+        self._corrupt(store, entry.digest, PAYLOAD_FILE)
+        with pytest.raises(StoreIntegrityError, match="sha256"):
+            store.load_layer("traffic", key)
+
+    def test_verify_reports_and_gc_removes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        good = store.save_layer("census", ("census", 1), make_carrier())
+        bad = store.save_layer("traffic", ("traffic", 1), make_carrier())
+        self._corrupt(store, bad.digest, ARRAYS_FILE)
+        (store.objects_dir / ".tmp-leftover-123").mkdir()
+        problems = store.verify()
+        assert any("sha256 mismatch" in p for p in problems)
+        assert any("staging" in p for p in problems)
+        removed = store.gc()
+        assert any(bad.digest in item for item in removed)
+        assert [entry.digest for entry in store.entries()] == [good.digest]
+        assert store.verify() == []
+
+    def test_schema_mismatch_is_invisible_and_collected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        entry = store.save_layer("cloud", ("census", 1), make_carrier())
+        meta_path = store.objects_dir / entry.digest / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = STORE_SCHEMA + 1
+        meta_path.write_text(json.dumps(meta))
+        assert store.load_layer("cloud", ("census", 1)) is None
+        removed = store.gc()
+        assert any(entry.digest in item for item in removed)
+
+    def test_missing_entry_detected_against_manifest(self, tmp_path):
+        import shutil
+
+        store = ArtifactStore(tmp_path)
+        entry = store.save_layer("census", ("census", 2), make_carrier())
+        shutil.rmtree(store.objects_dir / entry.digest)
+        assert any("manifest indexes missing" in p for p in store.verify())
+        store.gc()
+        assert store.verify() == []

@@ -1,0 +1,96 @@
+"""The process-pool fallback contract: degrade loudly, but only once.
+
+Traffic generation, observatory probe rounds, and whatif sweeps all fan
+out through :func:`repro.util.procpool.map_in_pool`; on a host that
+cannot run a process pool each of them degrades to its sequential path.
+These tests pin the deduplication: exactly **one** ``RuntimeWarning``
+per process no matter how many subsystems fall back, with every
+fallback still recorded in :func:`fallback_contexts`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.util.procpool import (
+    fallback_contexts,
+    map_in_pool,
+    reset_pool_fallback_warnings,
+    resolve_worker_count,
+    warn_pool_fallback,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_state():
+    reset_pool_fallback_warnings()
+    yield
+    reset_pool_fallback_warnings()
+
+
+class TestOneWarningPerProcess:
+    def test_exactly_one_warning_across_subsystem_contexts(self):
+        """The satellite contract: traffic + observatory + whatif sweep
+        fallbacks in one process emit exactly one warning."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_pool_fallback("traffic generation", "sandbox denies fork")
+            warn_pool_fallback("observatory probe rounds", "sandbox denies fork")
+            warn_pool_fallback("whatif sweep", "sandbox denies fork")
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        message = str(runtime[0].message)
+        assert "traffic generation" in message  # the first context names itself
+        assert "once per process" in message
+
+    def test_every_fallback_context_is_still_recorded(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            warn_pool_fallback("traffic generation", "no fork")
+            warn_pool_fallback("observatory probe rounds", "no fork")
+            warn_pool_fallback("observatory probe rounds", "again")
+            warn_pool_fallback("whatif sweep", "no fork")
+        assert fallback_contexts() == (
+            "traffic generation",
+            "observatory probe rounds",
+            "whatif sweep",
+        )
+
+    def test_reset_restores_the_warning(self):
+        with pytest.warns(RuntimeWarning):
+            warn_pool_fallback("ctx-a", "reason")
+        reset_pool_fallback_warnings()
+        assert fallback_contexts() == ()
+        with pytest.warns(RuntimeWarning):
+            warn_pool_fallback("ctx-b", "reason")
+
+    def test_map_in_pool_broken_pool_warns_once_across_contexts(self, monkeypatch):
+        """The real entry point: two different fan-outs, one warning."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.util.procpool as procpool_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise BrokenProcessPool("no pool in this sandbox")
+
+        monkeypatch.setattr(procpool_module, "ProcessPoolExecutor", ExplodingPool)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert map_in_pool(abs, [1, 2], 2, "traffic generation") is None
+            assert map_in_pool(abs, [1, 2], 2, "observatory probe rounds") is None
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert fallback_contexts() == (
+            "traffic generation",
+            "observatory probe rounds",
+        )
+
+
+class TestWorkerCount:
+    def test_resolution_contract_unchanged(self):
+        assert resolve_worker_count(False, 10) == 1
+        assert resolve_worker_count(0, 10) == 1
+        assert resolve_worker_count(4, 10) == 4
+        assert resolve_worker_count(4, 2) == 2  # never more workers than tasks
+        assert resolve_worker_count(None, 0) == 1
