@@ -1,7 +1,5 @@
 """Figure 18: top IPv4-only domains by the resource types they serve."""
 
-import numpy as np
-
 from repro.core import analyze_dependencies, resource_type_matrix
 from repro.util.tables import TextTable
 

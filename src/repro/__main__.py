@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import os
 import sys
 
 from repro.api import Study, StudyConfig, jsonify, registry
@@ -37,7 +36,7 @@ _META = ("all", "list")
 
 #: Subcommands dispatched before artifact parsing (and offered by the
 #: did-you-mean hint when a first argument matches nothing).
-_SUBCOMMANDS = ("store", "serve")
+_SUBCOMMANDS = ("store", "serve", "lint")
 
 
 def version_string() -> str:
@@ -293,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
         return _store_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.devtools.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     requested = list(dict.fromkeys(args.artifacts))

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.registry import ArtifactResult, artifact
 from repro.api.artifacts.traffic import sample_points
+from repro.api.registry import ArtifactResult, artifact
 from repro.api.session import Study
 from repro.core.deps import (
     estimate_version_split_misclassification,

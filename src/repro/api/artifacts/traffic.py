@@ -10,11 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.registry import ArtifactResult, artifact
+from repro.api.session import Study
 from repro.core.client import (
     as_traffic_breakdown,
     compute_residence_stats,
     daily_fractions,
-    domain_traffic_breakdown,
     heavy_hitter_days,
     hourly_fraction_series,
     protocol_mix,
@@ -25,8 +25,6 @@ from repro.core.mstl import mstl
 from repro.flowmon.monitor import FlowScope
 from repro.util.stats import empirical_cdf
 from repro.util.tables import TextTable, render_series
-
-from repro.api.session import Study
 
 #: The paper's MSTL window: March 2025, days 120-150 of the observation.
 MARCH_START_DAY = 120

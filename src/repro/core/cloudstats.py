@@ -18,7 +18,7 @@ Works from crawl records plus the attribution substrates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.cloud.providers import CloudProvider, CloudService

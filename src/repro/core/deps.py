@@ -25,8 +25,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.crawler.records import CrawlDataset, RequestRecord, SiteCrawlResult
 from repro.core.readiness import SiteClass, classify_site
+from repro.crawler.records import CrawlDataset, RequestRecord, SiteCrawlResult
 from repro.net.psl import PublicSuffixList, default_psl
 from repro.web.resources import ResourceCategory, ResourceType
 
@@ -120,7 +120,9 @@ def analyze_dependencies(
             impact.contributions.append(len(records) / len(v4only))
             if domain != result.site:
                 impact.is_third_party_anywhere = True
-            for rtype in {r.resource_type for r in records}:
+            for rtype in sorted(
+                {r.resource_type for r in records}, key=lambda t: t.value
+            ):
                 impact.resource_type_sites[rtype] += 1
 
     return DependencyAnalysis(

@@ -22,7 +22,7 @@ from repro.happyeyeballs.algorithm import (
     HappyEyeballsConfig,
 )
 from repro.net.addr import Family
-from repro.net.dns import DnsResponse, DnsStatus, Resolver
+from repro.net.dns import DnsResponse, Resolver
 from repro.util.rng import RngStream
 
 

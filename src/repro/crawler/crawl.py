@@ -24,9 +24,9 @@ from repro.crawler.records import (
     SiteFailure,
 )
 from repro.net.dns import DnsStatus
+from repro.util.rng import RngStream
 from repro.web.ecosystem import WebEcosystem
 from repro.web.sites import Website
-from repro.util.rng import RngStream
 
 #: The paper clicks five random same-site links per site.
 LINK_CLICKS = 5

@@ -1,0 +1,8 @@
+"""Developer tooling for the reproduction: contract-enforcing linters.
+
+The reproduction's headline guarantees -- parallel == sequential
+bit-identity, content-addressed warm starts that are JSON-equal to cold
+builds, ``allow_pickle=False`` persistence -- are conventions that every
+new module must keep.  :mod:`repro.devtools.lint` (``replint``) turns
+those conventions into machine-checked invariants.
+"""

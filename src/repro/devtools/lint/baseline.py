@@ -1,0 +1,71 @@
+"""Baseline files: accepted pre-existing violations, fingerprinted.
+
+A baseline is a committed JSON document mapping violation fingerprints
+(rule + file + flagged-line text, line-number free) to a small record of
+what was accepted.  ``replint --baseline FILE`` exits 0 when every
+current violation is covered and 1 the moment a *new* one appears --
+the ratchet that lets a rule land before the last legacy violation is
+fixed, without ever letting the count grow.
+
+Fingerprints are multiset-compared: two identical offending lines in
+one file need two baseline entries (the ``count`` field), so deleting
+one of them and adding another elsewhere still trips the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lint.engine import Violation
+
+FORMAT_VERSION = 1
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Persist ``violations`` as the accepted baseline at ``path``."""
+    counts = Counter(violation.fingerprint for violation in violations)
+    entries = {}
+    for violation in sorted(violations, key=lambda v: (v.path, v.line, v.rule)):
+        entries.setdefault(
+            violation.fingerprint,
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "message": violation.message,
+                "count": counts[violation.fingerprint],
+            },
+        )
+    document = {"version": FORMAT_VERSION, "fingerprints": entries}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> Counter:
+    """The accepted fingerprint multiset stored at ``path``."""
+    document = json.loads(path.read_text())
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {FORMAT_VERSION}; regenerate with --write-baseline)"
+        )
+    accepted: Counter = Counter()
+    for fingerprint, entry in document.get("fingerprints", {}).items():
+        accepted[fingerprint] = int(entry.get("count", 1))
+    return accepted
+
+
+def new_violations(
+    violations: Sequence[Violation], accepted: Counter
+) -> list[Violation]:
+    """Violations beyond the baseline's multiset (the gate's input)."""
+    remaining = Counter(accepted)
+    fresh: list[Violation] = []
+    for violation in violations:
+        if remaining[violation.fingerprint] > 0:
+            remaining[violation.fingerprint] -= 1
+        else:
+            fresh.append(violation)
+    return fresh

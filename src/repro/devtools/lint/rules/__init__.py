@@ -1,0 +1,40 @@
+"""The replint rule set: REP001..REP008, one invariant per rule.
+
+``default_rules()`` returns fresh instances (rules accumulate per-run
+state for their cross-module passes, so instances must not be shared
+between runs).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import Rule
+from repro.devtools.lint.rules.caches import CacheRegistryRule
+from repro.devtools.lint.rules.determinism import NondeterminismRule
+from repro.devtools.lint.rules.errors import SwallowedErrorRule
+from repro.devtools.lint.rules.hotpaths import HotPathVectorizationRule
+from repro.devtools.lint.rules.ordering import SetOrderingRule
+from repro.devtools.lint.rules.registry_contracts import (
+    ArtifactContractRule,
+    InterventionContractRule,
+)
+from repro.devtools.lint.rules.serialization import SerializationRule
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    NondeterminismRule,
+    CacheRegistryRule,
+    SerializationRule,
+    ArtifactContractRule,
+    InterventionContractRule,
+    HotPathVectorizationRule,
+    SwallowedErrorRule,
+    SetOrderingRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every rule, in id order."""
+    return sorted((cls() for cls in RULE_CLASSES), key=lambda rule: rule.id)
+
+
+def rule_ids() -> list[str]:
+    return sorted(cls.id for cls in RULE_CLASSES)

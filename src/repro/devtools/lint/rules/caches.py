@@ -1,0 +1,124 @@
+"""REP002: every module-level ``_*_CACHE`` dict is registered.
+
+``repro.api.session._ALL_CACHES`` is the single list of process-wide
+layer caches: ``clear_caches()`` empties them between overlay runs and
+the sweep workers prime them.  A cache dict that any module grows on
+the side but never registers survives ``clear_caches()`` -- exactly the
+silent cross-scenario leak the whatif engine must never have.  This is
+the cross-module generalization of the reflection test that previously
+covered ``session.py`` alone: *any* ``_*_CACHE`` dict in *any* linted
+module must be reachable from the ``_ALL_CACHES`` literal (or via an
+explicit ``_ALL_CACHES[...] = ...`` registration), or carry a justified
+waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.astutil import dotted_name
+from repro.devtools.lint.engine import ModuleContext, Project, Rule, Violation
+
+_CACHE_NAME_RE = re.compile(r"^_[A-Za-z0-9_]*_CACHE$")
+
+#: The registry dict's canonical name in ``repro.api.session``.
+REGISTRY_NAME = "_ALL_CACHES"
+
+
+def _is_dict_valued(node: ast.AST) -> bool:
+    """Whether an assignment value builds a dict (literal, comp, call)."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("dict", "collections.defaultdict", "defaultdict", "OrderedDict",
+                        "collections.OrderedDict")
+    return False
+
+
+def _last_segment(node: ast.AST) -> str | None:
+    """``session._FOO_CACHE`` and ``_FOO_CACHE`` both yield ``_FOO_CACHE``."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return name.rpartition(".")[2]
+
+
+class CacheRegistryRule(Rule):
+    id = "REP002"
+    title = "module-level layer caches registered in session._ALL_CACHES"
+    hint = (
+        "add the cache to repro.api.session._ALL_CACHES (clear_caches and "
+        "the sweep workers iterate it), or waive with a justification if "
+        "the dict is a pure content-keyed memo that never leaks state"
+    )
+
+    def __init__(self) -> None:
+        #: (ctx, cache name, defining node) per module-level cache dict.
+        self._caches: list[tuple[ModuleContext, str, ast.AST]] = []
+        #: Cache names reachable from an ``_ALL_CACHES`` registration.
+        self._registered: set[str] = set()
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for node in ctx.tree.body:  # module level only: nested dicts are local
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == REGISTRY_NAME and isinstance(value, ast.Dict):
+                    for entry in value.values:
+                        segment = _last_segment(entry)
+                        if segment is not None:
+                            self._registered.add(segment)
+                elif _CACHE_NAME_RE.match(target.id) and _is_dict_valued(value):
+                    self._caches.append((ctx, target.id, node))
+        # Explicit registrations anywhere: ``_ALL_CACHES["name"] = _X_CACHE``.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _last_segment(target.value) == REGISTRY_NAME
+                ):
+                    segment = _last_segment(node.value)
+                    if segment is not None:
+                        self._registered.add(segment)
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Violation]:
+        for ctx, name, node in self._caches:
+            if name not in self._registered:
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"module-level cache {name} is not registered in "
+                    f"session.{REGISTRY_NAME}; clear_caches() will never "
+                    "empty it and sweep workers will never prime it",
+                )
+
+
+def unregistered_caches(paths: Sequence[Path] | None = None) -> list[Violation]:
+    """The REP002 cross-module pass alone, for the test suite.
+
+    ``tests/api/test_session.py`` calls this instead of re-implementing
+    the reflection check, so the test and the linter cannot drift.
+    Defaults to the installed ``repro`` source tree.
+    """
+    from repro.devtools.lint.engine import lint_paths
+
+    if paths is None:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent.parent]
+    return lint_paths(list(paths), [CacheRegistryRule()], select=["REP002"])

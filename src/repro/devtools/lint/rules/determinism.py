@@ -1,0 +1,102 @@
+"""REP001: no ambient nondeterminism in library code.
+
+The reproduction's parallel == sequential bit-identity and its
+content-addressed warm starts both assume that *every* random draw
+flows through :mod:`repro.util.rng` substreams and that no build path
+reads the wall clock.  One stray ``random.random()`` or
+``datetime.now()`` silently breaks cache keys, golden artifacts, and
+the sweep's determinism tests -- this rule flags them at the call site.
+
+Seeded construction is explicitly allowed: ``np.random.default_rng``,
+``Generator``, ``SeedSequence`` and friends are how ``util.rng`` builds
+its streams in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.lint.astutil import import_aliases, resolve_call_name, walk_calls
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: Fully-qualified callables that read ambient entropy or the wall clock.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Prefixes banned wholesale (any attribute under them).
+BANNED_PREFIXES = ("random.", "secrets.")
+
+#: ``numpy.random`` names that are *seeded construction*, not global state.
+NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: The substream API callers should be pointed at.
+_HINT = (
+    "draw through a repro.util.rng.RngStream substream (seeded, labelled) "
+    "so builds stay bit-identical; wall-clock/entropy reads outside the "
+    "library need a justified '# replint: allow[REP001] ...' waiver"
+)
+
+
+class NondeterminismRule(Rule):
+    id = "REP001"
+    title = "no unseeded randomness or wall-clock reads in library code"
+    hint = _HINT
+
+    def want(self, ctx: ModuleContext) -> bool:
+        # The rng module itself constructs the seeded generators, and
+        # devtools is offline tooling, not build-path library code.
+        return not ctx.relpath.endswith("util/rng.py") and "devtools/" not in ctx.relpath
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        aliases = import_aliases(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            name = resolve_call_name(call.func, aliases)
+            if name is None:
+                continue
+            reason = _ban_reason(name)
+            if reason is not None:
+                yield ctx.violation(self, call, reason)
+
+
+def _ban_reason(name: str) -> str | None:
+    """Why ``name`` is nondeterministic, or ``None`` when it is fine."""
+    if name in BANNED_CALLS:
+        return f"{name}() is nondeterministic (wall clock / ambient entropy)"
+    for prefix in BANNED_PREFIXES:
+        if name.startswith(prefix):
+            return (
+                f"{name}() draws from unseeded global state; "
+                "RNG must flow through util.rng substreams"
+            )
+    if name.startswith("numpy.random."):
+        tail = name[len("numpy.random."):]
+        head = tail.partition(".")[0]
+        if head not in NUMPY_RANDOM_ALLOWED:
+            return (
+                f"{name}() uses numpy's legacy global RNG state; "
+                "use np.random.default_rng via util.rng substreams"
+            )
+    return None

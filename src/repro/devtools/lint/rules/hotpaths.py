@@ -1,0 +1,86 @@
+"""REP006: no per-record Python loops over frame columns in hot paths.
+
+PR 2 rewrote the analysis layer as ``np.bincount`` / ``np.add.at``
+group-bys over the columnar frames (FlowFrame / ProbeFrame /
+DeltaFrame) precisely because per-record Python loops were 100-200x
+slower and scale with traffic, not with the answer.  This rule keeps
+the three analysis hot paths honest: iterating a frame's structured
+``.data`` array -- or one of its string-keyed columns -- in a ``for``
+loop or comprehension is flagged.  Loops over *aggregated* outputs
+(``np.unique`` keys, interned label tables like ``frame.countries``)
+are fine and not matched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.lint.astutil import iter_comprehension_iters
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: The analysis hot paths this rule patrols (path suffixes).
+HOT_PATH_SUFFIXES = (
+    "core/client.py",
+    "observatory/analysis.py",
+    "whatif/analysis.py",
+)
+
+
+class HotPathVectorizationRule(Rule):
+    id = "REP006"
+    title = "analysis hot paths stay vectorized (no per-record loops)"
+    hint = (
+        "group with np.bincount / np.add.at over the frame's integer "
+        "codes (the PR 2 idiom) instead of looping rows; loops that are "
+        "O(rendered output) may carry a justified REP006 waiver"
+    )
+
+    def want(self, ctx: ModuleContext) -> bool:
+        return any(ctx.relpath.endswith(suffix) for suffix in HOT_PATH_SUFFIXES)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for anchor, iterable in iter_comprehension_iters(ctx.tree):
+            for offender in _frame_column_reads(iterable):
+                yield ctx.violation(
+                    self,
+                    anchor,
+                    f"per-record loop over {offender} in an analysis hot "
+                    "path; group-bys here must be vectorized",
+                )
+                break  # one violation per loop, not per argument
+        return ()
+
+
+def _frame_column_reads(node: ast.AST) -> Iterator[str]:
+    """Frame-column expressions inside one loop iterable.
+
+    Matches ``<expr>.data`` (the structured per-record array),
+    ``<expr>["column"]`` (a string-keyed structured column), and either
+    of those threaded through ``zip``/``enumerate``/``reversed`` or a
+    trailing ``.tolist()``.
+    """
+    if isinstance(node, ast.Attribute):
+        if node.attr == "data":
+            yield _describe(node)
+        elif node.attr == "tolist":
+            yield from _frame_column_reads(node.value)
+    elif isinstance(node, ast.Subscript):
+        slice_node = node.slice
+        if isinstance(slice_node, ast.Constant) and isinstance(slice_node.value, str):
+            yield _describe(node)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name in ("zip", "enumerate", "reversed", "iter", "list", "tuple"):
+            for argument in node.args:
+                yield from _frame_column_reads(argument)
+        elif name == "tolist":
+            yield from _frame_column_reads(func.value)  # type: ignore[union-attr]
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our inputs
+        return "a frame column"

@@ -1,0 +1,58 @@
+"""REP008: set iteration order must not leak into outputs.
+
+Python ``set``/``frozenset`` iteration order depends on element hashes
+and insertion history -- with ``PYTHONHASHSEED`` randomization it can
+differ between *processes*, which is exactly the kind of nondeterminism
+the content-addressed store and the golden wire-schema tests cannot
+tolerate.  Iterating directly over a set literal, a set comprehension,
+or a ``set(...)``/``frozenset(...)`` call (without wrapping it in
+``sorted(...)``) is flagged wherever it appears: if the order truly
+cannot matter, sorting is cheap; if it can, sorting is the fix.
+
+Iterating a *variable* that happens to hold a set is deliberately not
+matched -- the rule stays precise (no false positives on membership
+accumulators) at the cost of recall, and the fixture corpus documents
+that boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.astutil import dotted_name, iter_comprehension_iters
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+
+class SetOrderingRule(Rule):
+    id = "REP008"
+    title = "no unsorted set iteration feeding deterministic outputs"
+    hint = (
+        "wrap the set in sorted(...) (with a key= for non-orderable "
+        "elements) so artifact bytes never depend on hash ordering"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for anchor, iterable in iter_comprehension_iters(ctx.tree):
+            description = _unsorted_set_expression(iterable)
+            if description is not None:
+                yield ctx.violation(
+                    self,
+                    anchor,
+                    f"iteration over {description} uses hash order; "
+                    "wrap it in sorted(...)",
+                )
+        return ()
+
+
+def _unsorted_set_expression(node: ast.AST) -> str | None:
+    """A description of ``node`` when it is a set built in place."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"a {name}(...) call"
+    return None

@@ -1,0 +1,75 @@
+"""REP003: persistence goes through ``store/serialize.py``, pickle-safe.
+
+The warehouse's codec is the *only* place allowed to deserialize pickled
+bytes (it whitelists what it reads and externalizes every ndarray into
+an ``allow_pickle=False`` npz).  A stray ``pickle.load`` elsewhere is an
+arbitrary-code-execution hole and a schema-drift hazard; an ``np.load``
+without ``allow_pickle=False`` silently re-opens the object-array door
+the codec exists to close.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.astutil import import_aliases, resolve_call_name, walk_calls
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: The one module allowed to call the pickle/npz deserializers.
+CODEC_SUFFIX = "store/serialize.py"
+
+_PICKLE_READERS = frozenset(
+    {"pickle.load", "pickle.loads", "pickle.Unpickler"}
+)
+
+
+class SerializationRule(Rule):
+    id = "REP003"
+    title = "deserialization confined to the store codec, allow_pickle=False"
+    hint = (
+        "load persisted objects through repro.store.serialize (the codec "
+        "whitelists classes and keeps ndarrays in allow_pickle=False npz); "
+        "every np.load must pass allow_pickle=False explicitly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        in_codec = ctx.relpath.endswith(CODEC_SUFFIX)
+        aliases = import_aliases(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            name = resolve_call_name(call.func, aliases)
+            if name is None:
+                continue
+            if name in _PICKLE_READERS and not in_codec:
+                yield ctx.violation(
+                    self,
+                    call,
+                    f"{name}() outside {CODEC_SUFFIX}: pickled bytes may only "
+                    "be read by the store codec",
+                )
+            elif name == "numpy.load":
+                if not in_codec:
+                    yield ctx.violation(
+                        self,
+                        call,
+                        f"np.load() outside {CODEC_SUFFIX}: array persistence "
+                        "goes through the store codec",
+                    )
+                if not _passes_allow_pickle_false(call):
+                    yield ctx.violation(
+                        self,
+                        call,
+                        "np.load() without allow_pickle=False: object arrays "
+                        "would unpickle arbitrary bytes",
+                    )
+        return ()
+
+
+def _passes_allow_pickle_false(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "allow_pickle":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            )
+    return False

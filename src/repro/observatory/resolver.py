@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.net.addr import IpAddress
-from repro.net.dns import DnsRecordType, DnsResponse, DnsStatus, Resolver, ZoneDatabase
+from repro.net.dns import DnsResponse, DnsStatus, Resolver, ZoneDatabase
 from repro.observatory.vantage import NetworkPolicy, VantagePoint
 from repro.util.rng import RngStream
 

@@ -190,6 +190,7 @@ class ArtifactService:
         self.config = config if config is not None else StudyConfig()
         self.store = store if store is not None else active_store()
         self.hot_limit = hot_limit
+        # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
         self.started_at = time.time()
         self.requests = 0
         self.warmer = WarmerState()
@@ -295,6 +296,7 @@ class ArtifactService:
             hot = len(self._hot)
         return {
             "status": "ok",
+            # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": self.requests,
             "artifacts": len(registry.names()),
@@ -461,8 +463,16 @@ class ArtifactService:
         if self.store is not None:
             try:
                 self.store.save_artifact(name, store_key, document)
-            except Exception:
-                pass  # write-behind is best-effort; the render still serves
+            except Exception as exc:
+                # Write-behind is best-effort -- the fresh render still
+                # serves -- but the degradation must leave a trace.
+                import warnings
+
+                warnings.warn(
+                    f"serve: could not persist artifact {name!r} ({exc}); "
+                    "serving the render without write-behind",
+                    RuntimeWarning,
+                )
         return _Encoded.from_document(document)
 
     def _hot_get(self, key: tuple) -> _Encoded | None:

@@ -72,6 +72,13 @@ class StoreIntegrityError(StoreError):
 
 
 def _utcnow() -> str:
+    """Wall-clock provenance stamp for ``meta.json`` entries.
+
+    ``created_at`` is operator-facing metadata (``store ls``/``gc``);
+    it never enters artifact documents, digests, or cache keys, so it
+    cannot perturb warm == cold equality.
+    """
+    # replint: allow[REP001] provenance stamp in store metadata only, never in artifact bytes
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 

@@ -25,7 +25,7 @@ from repro.happyeyeballs.algorithm import (
     HappyEyeballsConfig,
     StaticConnectivity,
 )
-from repro.net.addr import Family, IpAddress
+from repro.net.addr import Family
 from repro.traffic.apps import (
     ApplicationKind,
     ServiceProfile,

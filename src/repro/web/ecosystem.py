@@ -33,6 +33,7 @@ from repro.net.bgp import RoutingTable
 from repro.net.dns import DnsRecordType, DnsStatus, Resolver, ZoneDatabase
 from repro.net.psl import PublicSuffixList, default_psl
 from repro.net.rdns import ReverseDns
+from repro.util.rng import RngStream
 from repro.web.resources import (
     CATEGORY_IPV6_RATE,
     ResourceCategory,
@@ -42,7 +43,6 @@ from repro.web.resources import (
 )
 from repro.web.sites import EmbeddedResource, Page, Website
 from repro.web.toplist import TopList, TopListEntry
-from repro.util.rng import RngStream
 
 
 class SiteStatus(enum.Enum):

@@ -33,9 +33,9 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from repro.api.session import Study, StudyConfig, prime_caches
+from repro.util.procpool import map_in_pool, resolve_worker_count
 from repro.whatif.overlay import OverlayStudy
 from repro.whatif.spec import Scenario, as_scenario, default_sweep_grid
-from repro.util.procpool import map_in_pool, resolve_worker_count
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.crawler.records import CrawlDataset

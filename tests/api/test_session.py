@@ -81,27 +81,18 @@ class TestLazyMemoizedBuilds:
 class TestCacheRegistry:
     def test_every_module_level_cache_is_registered(self):
         """No layer cache may dodge ``clear_caches`` (whatif overlays
-        included): every module-level ``_*_CACHE`` dict must be a value
-        of ``_ALL_CACHES``."""
-        registered = {
-            id(cache) for cache in session_module._ALL_CACHES.values()
-        }
-        module_caches = {
-            name: value
-            for name, value in vars(session_module).items()
-            if name.startswith("_") and name.endswith("_CACHE")
-            and isinstance(value, dict)
-        }
-        assert module_caches, "expected module-level layer caches"
-        unregistered = [
-            name
-            for name, cache in module_caches.items()
-            if id(cache) not in registered
-        ]
-        assert not unregistered, (
-            f"caches missing from _ALL_CACHES: {unregistered}; register "
-            "them so clear_caches() and the sweep workers cover them"
+        included): every module-level ``_*_CACHE`` dict anywhere in the
+        source tree must be registered in ``_ALL_CACHES``.  Delegates to
+        the replint REP002 cross-module pass so the test and the linter
+        cannot drift -- and so the check covers every module, not just
+        ``session.py``."""
+        from repro.devtools.lint import unregistered_caches
+
+        violations = unregistered_caches()
+        assert not violations, "\n".join(
+            violation.format(fix_hints=True) for violation in violations
         )
+        assert session_module._ALL_CACHES, "expected registered layer caches"
 
     def test_clear_caches_empties_every_registered_cache(self):
         Study(days=3, seed=9009, residences=("A",)).traffic

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.providers import Ipv6Policy, build_provider_catalog, providers_by_name
+from repro.cloud.providers import build_provider_catalog, providers_by_name
 from repro.cloud.tenancy import Tenant, TenantPlanner
 from repro.util.rng import RngStream
 

@@ -16,7 +16,7 @@ from repro.flowmon.monitor import FlowScope
 from repro.net.asn import AsCategory
 from repro.traffic.apps import build_service_catalog, catalog_by_name
 from repro.traffic.generate import TrafficGenerator
-from repro.traffic.residences import build_paper_residences, residences_by_name
+from repro.traffic.residences import build_paper_residences
 from repro.traffic.universe import ServiceUniverse
 
 DAYS = 14

@@ -6,7 +6,6 @@ from repro.crawler.browser import BrowserConfig, SimulatedBrowser
 from repro.crawler.crawl import CensusConfig, WebCensus
 from repro.crawler.records import SiteFailure
 from repro.net.addr import Family
-from repro.net.dns import DnsStatus
 from repro.util.rng import RngStream
 from repro.web.ecosystem import SiteStatus, WebEcosystem, WebEcosystemConfig
 

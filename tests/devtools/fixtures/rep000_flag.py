@@ -1,0 +1,6 @@
+"""REP000 fixture: a waiver with no written justification is itself flagged."""
+
+import time
+
+# replint: allow[REP001]
+STARTED = time.time()

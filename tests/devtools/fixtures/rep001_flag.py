@@ -1,0 +1,31 @@
+"""REP001 fixture: every ambient-entropy idiom the rule must flag."""
+
+import os
+import random
+import time
+import uuid
+from datetime import date, datetime
+
+import numpy as np
+
+
+def unseeded_draws() -> list:
+    return [
+        random.random(),  # stdlib global RNG
+        random.randint(1, 6),
+        np.random.seed(42),  # legacy numpy global state
+        np.random.rand(3),
+    ]
+
+
+def wall_clock() -> tuple:
+    return (
+        time.time(),
+        datetime.now(),
+        datetime.utcnow(),
+        date.today(),
+    )
+
+
+def ambient_entropy() -> tuple:
+    return os.urandom(8), uuid.uuid4()

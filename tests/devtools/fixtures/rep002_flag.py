@@ -1,0 +1,7 @@
+"""REP002 fixture: a module-level cache dict nothing ever registers."""
+
+_ROGUE_CACHE: dict[tuple, object] = {}
+
+
+def remember(key: tuple, value: object) -> object:
+    return _ROGUE_CACHE.setdefault(key, value)

@@ -1,0 +1,15 @@
+"""REP002 fixture: caches registered in the ``_ALL_CACHES`` literal (or
+via explicit subscript registration) pass clean."""
+
+_LAYER_CACHE: dict[tuple, object] = {}
+_LATE_CACHE: dict[tuple, object] = {}
+
+_ALL_CACHES: dict[str, dict] = {
+    "layer": _LAYER_CACHE,
+}
+
+_ALL_CACHES["late"] = _LATE_CACHE
+
+
+def remember(key: tuple, value: object) -> object:
+    return _LAYER_CACHE.setdefault(key, value)

@@ -1,0 +1,23 @@
+"""REP003 fixture: pickled reads outside the codec, unsafe np.load."""
+
+import io
+import pickle
+
+import numpy as np
+
+
+def read_anything(blob: bytes) -> object:
+    return pickle.loads(blob)  # arbitrary code execution outside the codec
+
+
+def read_file(path: str) -> object:
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def load_arrays(path: str) -> object:
+    return np.load(path)  # no allow_pickle=False, and outside the codec
+
+
+def load_with_objects(blob: bytes) -> object:
+    return np.load(io.BytesIO(blob), allow_pickle=True)

@@ -1,0 +1,19 @@
+"""REP003 fixture: the codec module itself may unpickle -- pickle-safe."""
+
+import io
+import pickle
+
+import numpy as np
+
+
+class Unpickler(pickle.Unpickler):
+    pass
+
+
+def read_codec_blob(blob: bytes) -> object:
+    return Unpickler(io.BytesIO(blob)).load()
+
+
+def load_arrays(blob: bytes) -> dict:
+    with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+        return dict(npz)

@@ -1,0 +1,26 @@
+"""REP004 fixture: artifacts missing needs, layers, or docstrings."""
+
+from repro.api.registry import ArtifactResult, artifact
+
+
+@artifact("fixture_no_needs", title="No needs")
+def render_no_needs(study) -> ArtifactResult:
+    """Declared nothing: its build cost is invisible."""
+    return ArtifactResult()
+
+
+@artifact("fixture_unknown_layer", needs=("warp_drive",))
+def render_unknown_layer(study) -> ArtifactResult:
+    """Declares a layer the registry does not know."""
+    return ArtifactResult()
+
+
+@artifact("fixture_no_docstring", needs=("traffic",))
+def render_no_docstring(study) -> ArtifactResult:
+    return ArtifactResult()
+
+
+@artifact("fixture_empty_needs", needs=())
+def render_empty_needs(study) -> ArtifactResult:
+    """Declares an empty layer set."""
+    return ArtifactResult()

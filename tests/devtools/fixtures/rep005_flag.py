@@ -1,0 +1,24 @@
+"""REP005 fixture: interventions with missing/empty/unknown LAYERS."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.whatif.spec import Intervention
+
+
+@dataclass(frozen=True)
+class ForgotLayers(Intervention):
+    KIND: ClassVar[str] = "forgot"
+    # no LAYERS declaration at all
+
+
+@dataclass(frozen=True)
+class EmptyLayers(Intervention):
+    KIND: ClassVar[str] = "noop"
+    LAYERS: ClassVar[frozenset] = frozenset()
+
+
+@dataclass(frozen=True)
+class UnknownLayers(Intervention):
+    KIND: ClassVar[str] = "warp"
+    LAYERS: ClassVar[frozenset] = frozenset({"warp_drive"})

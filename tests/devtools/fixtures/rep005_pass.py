@@ -1,0 +1,14 @@
+"""REP005 fixture: a declared, in-vocabulary intervention passes clean."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.whatif.spec import Intervention
+
+
+@dataclass(frozen=True)
+class CutCable(Intervention):
+    """An undersea cable cut takes out observatory vantages."""
+
+    KIND: ClassVar[str] = "cablecut"
+    LAYERS: ClassVar[frozenset] = frozenset({"observatory", "traffic"})

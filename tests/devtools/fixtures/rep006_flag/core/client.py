@@ -1,0 +1,26 @@
+"""REP006 fixture: per-record Python loops over frame columns."""
+
+
+def per_record_rows(frame) -> int:
+    total = 0
+    for row in frame.data:  # one Python iteration per flow record
+        total += int(row["bytes"])
+    return total
+
+
+def per_record_columns(data) -> int:
+    total = 0
+    for value in data["bytes"]:  # string-keyed structured column
+        total += int(value)
+    return total
+
+
+def zipped_columns(frame) -> list:
+    return [
+        (day, size)
+        for day, size in zip(frame.data["day"], frame.data["bytes"])
+    ]
+
+
+def listed_column(data) -> list:
+    return [int(v) for v in data["packets"].tolist()]

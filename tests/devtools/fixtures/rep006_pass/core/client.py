@@ -1,0 +1,16 @@
+"""REP006 fixture: the bincount group-by idiom passes clean."""
+
+import numpy as np
+
+
+def daily_totals(frame) -> dict:
+    data = frame.data
+    days = data["day"].astype(np.int64)
+    totals = np.bincount(days - days.min(), weights=data["bytes"])
+    uniq = np.unique(days)
+    # Looping over *aggregated* outputs is fine: O(answer), not O(records).
+    return {int(day): float(total) for day, total in zip(uniq, totals[uniq - days.min()])}
+
+
+def interned_labels(frame) -> list:
+    return [country for country in frame.countries]

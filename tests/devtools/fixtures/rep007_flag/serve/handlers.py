@@ -1,0 +1,22 @@
+"""REP007 fixture: swallowed errors in a serving handler."""
+
+
+def render_or_none(render, name: str):
+    try:
+        return render(name)
+    except:  # bare except, always flagged
+        return None
+
+
+def persist_best_effort(warehouse, name: str, payload: bytes) -> None:
+    try:
+        warehouse.put(name, payload)
+    except Exception:
+        pass  # swallowed without a trace
+
+
+def probe(client) -> None:
+    try:
+        client.ping()
+    except (OSError, Exception):
+        ...  # Exception inside a tuple, body does nothing: still swallowed

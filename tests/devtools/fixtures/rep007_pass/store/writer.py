@@ -1,0 +1,22 @@
+"""REP007 fixture: store-layer handlers that leave a trace pass clean."""
+
+import logging
+import warnings
+
+log = logging.getLogger("repro.fixture")
+
+
+def persist_logged(warehouse, name: str, payload: bytes) -> None:
+    try:
+        warehouse.put(name, payload)
+    except OSError as exc:  # narrow except never flags
+        log.warning("could not persist %r: %s", name, exc)
+        raise
+
+
+def persist_warned(warehouse, name: str, payload: bytes) -> None:
+    try:
+        warehouse.put(name, payload)
+    except Exception as exc:
+        # Broad, but the degradation is surfaced before continuing.
+        warnings.warn(f"write-behind failed for {name!r}: {exc}", RuntimeWarning)

@@ -1,0 +1,19 @@
+"""REP008 fixture: iterating sets in hash order."""
+
+
+def label_rows(records) -> list:
+    rows = []
+    for rtype in {r.resource_type for r in records}:  # set-comp, hash order
+        rows.append(rtype)
+    return rows
+
+
+def layer_rows() -> list:
+    rows = []
+    for layer in set(["traffic", "census"]):  # set() call, hash order
+        rows.append(layer)
+    return rows
+
+
+def literal_rows() -> list:
+    return [name for name in {"alpha", "beta", "gamma"}]  # set literal

@@ -1,0 +1,12 @@
+"""REP008 fixture: sorted set iteration yields a deterministic order."""
+
+
+def label_rows(records) -> list:
+    rows = []
+    for rtype in sorted({r.resource_type for r in records}, key=lambda t: t.value):
+        rows.append(rtype)
+    return rows
+
+
+def layer_rows() -> list:
+    return [layer for layer in sorted(frozenset({"traffic", "census"}))]

@@ -1,0 +1,20 @@
+"""The tree gate: replint runs clean over its own source, and fast."""
+
+from __future__ import annotations
+
+import time
+
+from repro.devtools.lint import default_lint_root, lint_repo
+
+
+def test_source_tree_is_clean_and_fast():
+    started = time.perf_counter()
+    violations = lint_repo()
+    elapsed = time.perf_counter() - started
+    assert violations == [], "\n".join(v.format(fix_hints=True) for v in violations)
+    assert elapsed < 5.0, f"replint took {elapsed:.2f}s over {default_lint_root()}"
+
+
+def test_lint_root_is_the_repro_parent():
+    root = default_lint_root()
+    assert (root / "repro" / "__init__.py").is_file()

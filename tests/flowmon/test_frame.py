@@ -7,7 +7,6 @@ from repro.flowmon.conntrack import FlowKey, Protocol
 from repro.flowmon.frame import (
     FLOW_DTYPE,
     SCOPE_CODES,
-    FlowFrame,
     day_sums,
     group_sums,
 )

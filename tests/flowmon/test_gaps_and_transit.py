@@ -7,10 +7,10 @@ from repro.flowmon.conntrack import ConntrackTable, FlowKey, IcmpInfo, Protocol
 from repro.flowmon.export import FlowExporter
 from repro.flowmon.monitor import FlowMonitor, FlowScope, RouterConfig
 from repro.net.addr import IpAddress, Prefix
+from repro.traffic.apps import build_service_catalog
 from repro.traffic.generate import ResidenceDataset
 from repro.traffic.residences import residences_by_name
 from repro.traffic.universe import ServiceUniverse
-from repro.traffic.apps import build_service_catalog
 from repro.util.timeutil import DAY
 
 LAN4 = Prefix.parse("192.168.1.0/24")

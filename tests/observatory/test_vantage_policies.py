@@ -10,7 +10,7 @@ see (broken PMTU).
 import pytest
 
 from repro.net.addr import Family, IpAddress
-from repro.net.dns import DnsRecordType, DnsStatus, ZoneDatabase
+from repro.net.dns import DnsRecordType, ZoneDatabase
 from repro.observatory.probe import ProbeTarget, ProbeVerdict, Prober
 from repro.observatory.resolver import (
     NAT64_PREFIX,

@@ -11,8 +11,6 @@ client library.
 import asyncio
 import json
 
-import pytest
-
 from repro.api import StudyConfig
 from repro.serve import ArtifactService, start_server
 

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.api import BUILD_COUNTS, STORE_COUNTS, StudyConfig, clear_caches
+from repro.api import BUILD_COUNTS, StudyConfig, clear_caches
 from repro.serve import ArtifactService, etag_matches
 from repro.store import ArtifactStore, set_store
 

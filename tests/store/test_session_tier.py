@@ -13,7 +13,7 @@ import pytest
 
 from repro.api import BUILD_COUNTS, STORE_COUNTS, Study, StudyConfig, clear_caches
 from repro.api.session import _ALL_CACHES
-from repro.store import ArtifactStore, set_store, snapshot_study, warm_start
+from repro.store import set_store, snapshot_study, warm_start
 from repro.store.serialize import PAYLOAD_FILE
 
 #: One artifact per layer (deps via ``fig7``, whatif via a one-scenario

@@ -3,10 +3,9 @@
 import pytest
 
 from repro.flowmon.monitor import FlowScope
-from repro.net.addr import Family
 from repro.traffic.apps import build_service_catalog, catalog_by_name
 from repro.traffic.generate import ResidenceDataset, TrafficGenerator
-from repro.traffic.residences import build_paper_residences, residences_by_name
+from repro.traffic.residences import residences_by_name
 from repro.traffic.universe import ServiceUniverse
 from repro.util.timeutil import day_index
 
