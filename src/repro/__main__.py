@@ -36,7 +36,7 @@ _META = ("all", "list")
 
 #: Subcommands dispatched before artifact parsing (and offered by the
 #: did-you-mean hint when a first argument matches nothing).
-_SUBCOMMANDS = ("store", "serve", "lint")
+_SUBCOMMANDS = ("store", "serve", "lint", "resilience")
 
 
 def version_string() -> str:
@@ -296,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.devtools.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        return _resilience_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     requested = list(dict.fromkeys(args.artifacts))
@@ -495,6 +497,64 @@ def _store_main(argv: list[str]) -> int:
         f"{store.root} ({store.total_bytes():,} bytes)"
     )
     return 0
+
+
+def _resilience_main(argv: list[str]) -> int:
+    """``python -m repro resilience drill`` -- the scripted chaos drill."""
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description="Chaos-drill the stack under a seeded fault plan: "
+        "zero 5xx for warehouse-backed artifacts, zero data corruption, "
+        "crashed-pool builds bit-identical to fault-free ones.",
+    )
+    parser.add_argument(
+        "command",
+        type=_subcommand_argument(("drill",)),
+        metavar="command",
+        help="drill (run the scripted chaos scenario; exits 1 on any "
+        "violated resilience property)",
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="fault-plan seed (same seed = same schedule; "
+                        "default: 7)")
+    parser.add_argument("--days", type=int, default=4,
+                        help="traffic days of the drill scenario (default: 4)")
+    parser.add_argument("--sites", type=int, default=110,
+                        help="census sites of the drill scenario (default: 110)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="scratch warehouse directory for the drill "
+                        "(default: a temp directory, removed afterwards)")
+    _add_version_argument(parser)
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    args = parser.parse_args(argv)
+
+    from repro.resilience.drill import run_drill
+
+    report = run_drill(
+        seed=args.seed, days=args.days, sites=args.sites, store_root=args.store
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        pool = report["pool_crash"]
+        chaos = report["serve_chaos"]
+        print(f"resilience drill (seed {report['seed']}):")
+        print(
+            f"  pool crash: {pool['faults_fired']} worker crash(es), "
+            f"{len(pool['resubmitted_shards'])} recovery wave(s), "
+            f"bit-identical: {pool['bit_identical']}"
+        )
+        print(
+            f"  serve chaos: {chaos['requests']} requests, "
+            f"faults fired: {chaos['faults_fired']}, "
+            f"stale served: {chaos['stale_served']}, "
+            f"store damage: {chaos['store_verify_problems']}"
+        )
+        print(f"  ok: {report['ok']}")
+    for problem in report["problems"]:
+        print(f"resilience drill: {problem}", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def _serve_main(argv: list[str]) -> int:

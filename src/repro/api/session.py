@@ -50,24 +50,43 @@ BUILD_COUNTS: Counter = Counter()
 
 #: Disk-tier traffic, when a store is active (``repro.store``):
 #: ``hit:<layer>`` / ``miss:<layer>`` on reads, ``write:<layer>`` on
-#: write-behind, ``error:<layer>`` when a corrupt entry fell back to a
-#: rebuild.
+#: write-behind, ``retry:<layer>`` per transient read re-attempt under
+#: the shared store retry policy, ``error:<layer>`` when a corrupt or
+#: unreadable entry fell back to a rebuild (which then overwrites --
+#: repairs -- the damaged entry).
 STORE_COUNTS: Counter = Counter()
 
 
-def _store_load(layer: str, key: tuple) -> Any | None:
+def _store_load(layer: str, key: tuple) -> tuple[Any | None, bool]:
     """Read-through: fetch a layer from the active store (miss = None).
 
-    A corrupt entry (checksum failure) is a warning and a miss -- the
-    session rebuilds rather than dying on a damaged warehouse.
+    Returns ``(value, damaged)``.  Reads run under the shared store
+    retry policy (:data:`repro.resilience.retry.STORE_POLICY`), so a
+    transient IO failure backs off and re-reads before anything is
+    rebuilt; a corrupt entry (checksum failure, which retrying cannot
+    cure) or a read that exhausted its retries is a warning and a miss
+    with ``damaged=True`` -- the session rebuilds rather than dying on
+    a damaged warehouse, and the write-behind then *overwrites* the bad
+    entry so the store actually heals.
     """
-    from repro.store.warehouse import active_store
+    from repro.resilience.retry import STORE_POLICY, call_with_retry
+    from repro.store.warehouse import StoreReadError, active_store
 
     store = active_store()
     if store is None:
-        return None
+        return None, False
+
+    def on_retry(attempt: int, exc: BaseException) -> None:
+        STORE_COUNTS[f"retry:{layer}"] += 1
+
     try:
-        value = store.load_layer(layer, key)
+        value = call_with_retry(
+            lambda: store.load_layer(layer, key),
+            label=f"store:{layer}",
+            policy=STORE_POLICY,
+            retryable=(StoreReadError, OSError),
+            on_retry=on_retry,
+        )
     except Exception as exc:
         import warnings
 
@@ -77,20 +96,26 @@ def _store_load(layer: str, key: tuple) -> Any | None:
             RuntimeWarning,
             stacklevel=3,
         )
-        return None
+        return None, True
     STORE_COUNTS[("hit:" if value is not None else "miss:") + layer] += 1
-    return value
+    return value, False
 
 
-def _store_save(layer: str, key: tuple, value: Any) -> None:
-    """Write-behind: persist a freshly built layer (failures are warnings)."""
+def _store_save(layer: str, key: tuple, value: Any, repair: bool = False) -> None:
+    """Write-behind: persist a freshly built layer (failures are warnings).
+
+    ``repair=True`` (the load before this build failed) overwrites the
+    existing entry instead of trusting the content-addressed
+    skip-if-present fast path, which would otherwise leave the damaged
+    bytes in place forever.
+    """
     from repro.store.warehouse import active_store
 
     store = active_store()
     if store is None:
         return
     try:
-        store.save_layer(layer, key, value)
+        store.save_layer(layer, key, value, overwrite=repair)
     except Exception as exc:
         import warnings
 
@@ -409,12 +434,12 @@ class Study:
         """
         cache = _ALL_CACHES[layer]
         if key not in cache:
-            value = _store_load(layer, key)
+            value, damaged = _store_load(layer, key)
             if value is None:
                 self._say(message)
                 BUILD_COUNTS[self._count_key(layer)] += 1
                 value = build()
-                _store_save(layer, key, value)
+                _store_save(layer, key, value, repair=damaged)
             cache[key] = value
         return cache[key]
 

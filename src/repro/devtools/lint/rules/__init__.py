@@ -1,4 +1,4 @@
-"""The replint rule set: REP001..REP008, one invariant per rule.
+"""The replint rule set: REP001..REP009, one invariant per rule.
 
 ``default_rules()`` returns fresh instances (rules accumulate per-run
 state for their cross-module passes, so instances must not be shared
@@ -17,6 +17,7 @@ from repro.devtools.lint.rules.registry_contracts import (
     ArtifactContractRule,
     InterventionContractRule,
 )
+from repro.devtools.lint.rules.retries import AdHocRetryRule
 from repro.devtools.lint.rules.serialization import SerializationRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -28,6 +29,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     HotPathVectorizationRule,
     SwallowedErrorRule,
     SetOrderingRule,
+    AdHocRetryRule,
 )
 
 

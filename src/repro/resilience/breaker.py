@@ -1,0 +1,108 @@
+"""A minimal three-state circuit breaker for the serving tier.
+
+Classic semantics (closed -> open -> half-open -> closed):
+
+* **closed**: calls flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker open.
+* **open**: :meth:`allow` answers ``False`` -- callers skip the
+  protected operation (and serve stale / shed load instead of hammering
+  a builder that keeps failing) until ``reset_after_s`` has elapsed.
+* **half-open**: after the cool-down one probe call is allowed through;
+  success closes the breaker, failure re-opens it for another full
+  cool-down.
+
+The clock is injectable (monotonic by default) and is pure telemetry:
+breaker state never touches artifact bytes, cache keys, or results, so
+it cannot perturb warm == cold equality.  Thread-safety: transitions
+are guarded by a lock because the serving tier records outcomes from
+executor threads while the event loop reads :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover via a timed half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ValueError("reset_after_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (cool-down aware)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = "half-open"
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected operation should be attempted now.
+
+        In half-open state exactly one caller gets ``True`` (the probe);
+        the rest keep degrading until the probe reports back.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            state = self._state_locked()
+            if state == "half-open" or self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def snapshot(self) -> dict:
+        """State document for ``/healthz`` (and the drill report)."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_after_s": self.reset_after_s,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, failures={self._failures})"

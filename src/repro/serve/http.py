@@ -36,6 +36,19 @@ _MAX_LINE = 65536
 #: sync; anything bigger (or chunked) gets a 400 and a close.
 _MAX_DRAIN_BODY = 1 << 20
 
+#: Read failures that mean "the peer is gone or silent", not "the peer
+#: sent garbage": a keep-alive connection half-closing mid-request head
+#: (:class:`asyncio.IncompleteReadError`), the idle timeout expiring
+#: (``TimeoutError``; ``asyncio.TimeoutError`` is its alias on 3.11+,
+#: spelled out for 3.10 readers), or a reset (:class:`ConnectionError`).
+#: Each ends the connection quietly -- no traceback, no 400.
+_QUIET_READ_ERRORS = (
+    asyncio.TimeoutError,
+    TimeoutError,
+    asyncio.IncompleteReadError,
+    ConnectionError,
+)
+
 
 def _reason(status: int) -> str:
     try:
@@ -67,7 +80,7 @@ async def _read_request(
     """Parse one request head; ``None`` on clean EOF/idle close."""
     try:
         line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
-    except (asyncio.TimeoutError, ConnectionError):
+    except _QUIET_READ_ERRORS:
         return None
     if not line:
         return None
@@ -79,7 +92,7 @@ async def _read_request(
     while True:
         try:
             header_line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
-        except (asyncio.TimeoutError, ConnectionError):
+        except _QUIET_READ_ERRORS:
             return None
         if header_line in (b"\r\n", b"\n", b""):
             break
@@ -100,7 +113,7 @@ async def _read_request(
     if length:
         try:
             await asyncio.wait_for(reader.readexactly(length), IDLE_TIMEOUT_S)
-        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError):
+        except _QUIET_READ_ERRORS:
             return None
     return method, target, version, headers
 
@@ -146,7 +159,7 @@ async def handle_connection(
             await writer.drain()
             if not keep_alive:
                 break
-    except ConnectionError:  # pragma: no cover - client went away mid-write
+    except _QUIET_READ_ERRORS:  # pragma: no cover - client went away mid-write
         pass
     finally:
         writer.close()

@@ -33,13 +33,15 @@ import hashlib
 import json
 import threading
 import time
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.api import Study, StudyConfig, jsonify, registry
 from repro.datasets.scenarios import SCALE_PRESETS
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import fault_hook
 
 #: Config fields a request may override via query parameters -- the
 #: same set the CLI's ``name@key=value`` overrides accept.
@@ -114,19 +116,31 @@ class Response:
 class ServiceError(Exception):
     """A request that resolves to an error response."""
 
-    def __init__(self, status: int, payload: dict) -> None:
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
         super().__init__(payload.get("error", f"HTTP {status}"))
         self.status = status
         self.payload = payload
+        self.headers = headers
 
 
 @dataclass(frozen=True)
 class _Encoded:
-    """One cacheable response body: canonical JSON, gzip twin, ETag."""
+    """One cacheable response body: canonical JSON, gzip twin, ETag.
+
+    ``stale`` marks a last-known-good document served because the
+    builder is degraded: it carries a ``Warning`` header, is never hot-
+    cached, and never ETag-revalidates (a later fresh render must win).
+    """
 
     body: bytes
     gzipped: bytes | None
     etag: str
+    stale: bool = False
 
     @classmethod
     def from_document(cls, document: dict) -> "_Encoded":
@@ -177,6 +191,13 @@ class ArtifactService:
             itself be ``None`` -- the service then serves from memory
             only).
         hot_limit: max encoded responses kept in the in-memory cache.
+        build_deadline_s: how long a request waits for the build lock
+            (and how long a build may run before the breaker counts it
+            as a failure).  ``None`` (default) waits indefinitely --
+            the pre-degradation behaviour.
+        max_build_queue: how many requests may queue on the build lock
+            before new cold requests are shed (503 + ``Retry-After``,
+            or stale if a last-known-good document exists).
     """
 
     def __init__(
@@ -184,20 +205,35 @@ class ArtifactService:
         config: StudyConfig | None = None,
         store: Any = None,
         hot_limit: int = 512,
+        build_deadline_s: float | None = None,
+        max_build_queue: int = 8,
     ) -> None:
         from repro.store.warehouse import active_store
 
         self.config = config if config is not None else StudyConfig()
         self.store = store if store is not None else active_store()
         self.hot_limit = hot_limit
+        self.build_deadline_s = build_deadline_s
+        self.max_build_queue = max_build_queue
         # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
         self.started_at = time.time()
         self.requests = 0
         self.warmer = WarmerState()
+        #: Degradation telemetry: ``stale`` (last-known-good served),
+        #: ``shed`` (503 + Retry-After), ``slow_build`` (deadline missed
+        #: by a build that still served fresh), ``breaker_open`` (a
+        #: request found its artifact's breaker open).
+        self.resilience_counts: Counter = Counter()
         self._hot: OrderedDict[tuple, _Encoded] = OrderedDict()
         self._hot_lock = threading.Lock()
         self._build_lock = threading.Lock()
         self._studies: dict[StudyConfig, Study] = {}
+        # Last-known-good documents (per artifact+config), what serve-
+        # stale degrades to; evicted LRU like the hot cache.
+        self._good: OrderedDict[tuple, dict] = OrderedDict()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._build_waiters = 0
 
     # -- request entry points ----------------------------------------------
 
@@ -232,7 +268,10 @@ class ArtifactService:
         except ServiceError as error:
             self.requests += 1
             encoded = _Encoded.from_document(error.payload)
-            return self._respond(error.status, encoded, method, headers, cache=False)
+            return self._respond(
+                error.status, encoded, method, headers, cache=False,
+                extra=error.headers,
+            )
         except Exception as exc:  # never kill the connection on a bug
             self.requests += 1
             encoded = _Encoded.from_document(
@@ -240,7 +279,7 @@ class ArtifactService:
             )
             return self._respond(500, encoded, method, headers, cache=False)
         self.requests += 1
-        return self._respond(200, encoded, method, headers, cache=True)
+        return self._respond(200, encoded, method, headers, cache=not encoded.stale)
 
     def _resolve(self, path: str, query: str, hot_only: bool) -> _Encoded | None:
         if path in ("/healthz", "/health"):
@@ -265,11 +304,17 @@ class ArtifactService:
         method: str,
         headers: dict[str, str],
         cache: bool,
+        extra: tuple[tuple[str, str], ...] = (),
     ) -> Response:
         out: list[tuple[str, str]] = [
             ("Content-Type", "application/json; charset=utf-8"),
             ("Server", _server_version()),
+            *extra,
         ]
+        if encoded.stale:
+            # RFC 9111 "Response is Stale": the body is a last-known-
+            # good document, served because the builder is degraded.
+            out.append(("Warning", '110 repro-serve "response is stale"'))
         if cache:
             out.append(("ETag", encoded.etag))
             out.append(("Cache-Control", "public, max-age=0, must-revalidate"))
@@ -291,11 +336,29 @@ class ArtifactService:
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> dict:
-        """The ``/healthz`` document (always computed fresh, never cached)."""
+        """The ``/healthz`` document (always computed fresh, never cached).
+
+        ``status`` is ``"degraded"`` while any artifact's circuit
+        breaker is not closed or the warmer hit errors; the
+        ``resilience`` section carries the per-subsystem detail
+        (breakers, retry counters, pool fallbacks/resubmissions, and
+        how often this process served stale or shed load).
+        """
+        from repro.resilience.retry import RETRY_COUNTS
+        from repro.util.procpool import fallback_contexts, resubmitted_shards
+
         with self._hot_lock:
             hot = len(self._hot)
+        with self._breaker_lock:
+            breakers = {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            }
+        degraded = bool(self.warmer.errors) or any(
+            snapshot["state"] != "closed" for snapshot in breakers.values()
+        )
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": self.requests,
@@ -307,6 +370,19 @@ class ArtifactService:
                 "done": self.warmer.done,
                 "warmed": self.warmer.warmed,
                 "total": self.warmer.total,
+            },
+            "resilience": {
+                "breakers": breakers,
+                "build_deadline_s": self.build_deadline_s,
+                "max_build_queue": self.max_build_queue,
+                "counts": dict(sorted(self.resilience_counts.items())),
+                "retry_counts": dict(sorted(RETRY_COUNTS.items())),
+                "pool": {
+                    "fallback_contexts": list(fallback_contexts()),
+                    "resubmitted_shards": [
+                        list(item) for item in resubmitted_shards()
+                    ],
+                },
             },
             "config": jsonify(dataclasses.asdict(self.config)),
         }
@@ -353,7 +429,10 @@ class ArtifactService:
             return hit
         if hot_only:
             return None
-        return self._hot_put(key, self._render_artifact(name, config))
+        encoded = self._render_artifact(name, config)
+        if encoded.stale:
+            return encoded  # never hot-cache a degraded body
+        return self._hot_put(key, encoded)
 
     def _contrast(self, country: str, query: str, hot_only: bool) -> _Encoded | None:
         config = self._config_from_query(query)
@@ -364,8 +443,8 @@ class ArtifactService:
             return hit
         if hot_only:
             return None  # rendering the contrast may build; go off-loop
-        document = self._render_artifact("contrast", config).body
-        full = json.loads(document.decode("utf-8"))
+        contrast = self._render_artifact("contrast", config)
+        full = json.loads(contrast.body.decode("utf-8"))
         rows = {row["country"]: row for row in full["rows"]}
         if code not in rows:
             import difflib
@@ -378,19 +457,19 @@ class ArtifactService:
             if close:
                 payload["did_you_mean"] = close
             raise ServiceError(404, payload)
-        return self._hot_put(
-            key,
-            _Encoded.from_document(
-                {
-                    "country": code,
-                    "config": full["config"],
-                    "columns": full["columns"],
-                    "row": rows[code],
-                    "metadata": full["metadata"],
-                    "source": "/v1/artifact/contrast",
-                }
-            ),
-        )
+        document = {
+            "country": code,
+            "config": full["config"],
+            "columns": full["columns"],
+            "row": rows[code],
+            "metadata": full["metadata"],
+            "source": "/v1/artifact/contrast",
+        }
+        if contrast.stale:
+            # Derived from a stale full table: stays marked, stays uncached.
+            document["degraded"] = full.get("degraded", {"stale": True})
+            return dataclasses.replace(_Encoded.from_document(document), stale=True)
+        return self._hot_put(key, _Encoded.from_document(document))
 
     # -- resolution helpers -------------------------------------------------
 
@@ -442,13 +521,26 @@ class ArtifactService:
         return config
 
     def _render_artifact(self, name: str, config: StudyConfig) -> _Encoded:
-        """Warehouse -> compute: the slow tiers of the artifact path."""
-        from repro.store.warehouse import artifact_key
+        """Warehouse -> compute: the slow tiers of the artifact path.
 
+        Store reads run under the shared retry policy (a disk hiccup is
+        not an outage); a corrupt entry stays a miss and recomputes.
+        The compute tier degrades instead of queueing forever: see
+        :meth:`_build_fresh`.
+        """
+        from repro.resilience.retry import STORE_POLICY, call_with_retry
+        from repro.store.warehouse import StoreReadError, artifact_key
+
+        good_key = (name, config.result_key)
         store_key = artifact_key(config, name) if self.store is not None else None
         if self.store is not None:
             try:
-                document = self.store.load_artifact(name, store_key)
+                document = call_with_retry(
+                    lambda: self.store.load_artifact(name, store_key),
+                    label=f"serve:{name}",
+                    policy=STORE_POLICY,
+                    retryable=(StoreReadError, OSError),
+                )
             except Exception:
                 # A corrupt warehouse entry is a miss, not an outage --
                 # recompute and serve (the same degrade-to-rebuild
@@ -456,10 +548,73 @@ class ArtifactService:
                 # is the repair path for the damaged entry itself.
                 document = None
             if document is not None:
+                self._remember_good(good_key, document)
                 return _Encoded.from_document(document)
-        with self._build_lock:
-            study = self._studies.setdefault(config, Study(config))
-            document = artifact_document(study, name)
+        return self._build_fresh(name, config, good_key, store_key)
+
+    def _build_fresh(
+        self, name: str, config: StudyConfig, good_key: tuple, store_key: Any
+    ) -> _Encoded:
+        """The compute tier, degraded gracefully under pressure.
+
+        In order: an open circuit breaker or a saturated build queue
+        degrades immediately (stale if we have it, 503 + ``Retry-After``
+        if not); a build-lock wait longer than ``build_deadline_s``
+        degrades too.  A build that *fails* trips the breaker and
+        degrades; a build that finishes but blew the deadline serves
+        fresh -- the work is done -- while still counting against the
+        breaker so sustained slowness eventually sheds instead of
+        queueing.
+        """
+        breaker = self._breaker(name)
+        if not breaker.allow():
+            self.resilience_counts["breaker_open"] += 1
+            return self._degrade(
+                name, good_key, "circuit breaker open",
+                retry_after=breaker.reset_after_s,
+            )
+        with self._breaker_lock:
+            if self._build_waiters >= self.max_build_queue:
+                return self._degrade(
+                    name, good_key, "build queue saturated", retry_after=1.0
+                )
+            self._build_waiters += 1
+        acquired = False
+        try:
+            timeout = -1 if self.build_deadline_s is None else self.build_deadline_s
+            acquired = self._build_lock.acquire(timeout=timeout)
+            if not acquired:
+                breaker.record_failure()
+                return self._degrade(
+                    name, good_key, "cold-build deadline exceeded",
+                    retry_after=self.build_deadline_s or 1.0,
+                )
+            started = time.monotonic()
+            try:
+                fault_hook("slow-build", name)
+                fault_hook("build-error", name)
+                study = self._studies.setdefault(config, Study(config))
+                document = artifact_document(study, name)
+            except ServiceError:
+                raise  # request-shaped failures are not builder health
+            except Exception as exc:
+                breaker.record_failure()
+                stale = self._recall_good(good_key)
+                if stale is None:
+                    raise
+                return self._stale_encoded(stale, f"build failed: {exc}")
+            elapsed = time.monotonic() - started
+            if self.build_deadline_s is not None and elapsed > self.build_deadline_s:
+                self.resilience_counts["slow_build"] += 1
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        finally:
+            if acquired:
+                self._build_lock.release()
+            with self._breaker_lock:
+                self._build_waiters -= 1
+        self._remember_good(good_key, document)
         if self.store is not None:
             try:
                 self.store.save_artifact(name, store_key, document)
@@ -474,6 +629,65 @@ class ArtifactService:
                     RuntimeWarning,
                 )
         return _Encoded.from_document(document)
+
+    # -- degradation helpers --------------------------------------------------
+
+    def _breaker(self, name: str) -> CircuitBreaker:
+        """This artifact's circuit breaker (created closed on first use)."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    failure_threshold=3,
+                    reset_after_s=self.build_deadline_s or 5.0,
+                )
+            return breaker
+
+    def _degrade(
+        self, name: str, good_key: tuple, reason: str, retry_after: float
+    ) -> _Encoded:
+        """Serve stale if we can; shed (503 + ``Retry-After``) if we cannot."""
+        stale = self._recall_good(good_key)
+        if stale is not None:
+            return self._stale_encoded(stale, reason)
+        self.resilience_counts["shed"] += 1
+        raise ServiceError(
+            503,
+            {
+                "error": f"artifact {name!r} temporarily unavailable: {reason}",
+                "retry_after_s": retry_after,
+            },
+            headers=(("Retry-After", str(max(1, round(retry_after)))),),
+        )
+
+    def _stale_encoded(self, document: dict, reason: str) -> _Encoded:
+        self.resilience_counts["stale"] += 1
+        marked = {**document, "degraded": {"stale": True, "reason": reason}}
+        return dataclasses.replace(_Encoded.from_document(marked), stale=True)
+
+    def _remember_good(self, key: tuple, document: dict) -> None:
+        with self._hot_lock:
+            self._good[key] = document
+            self._good.move_to_end(key)
+            while len(self._good) > self.hot_limit:
+                self._good.popitem(last=False)
+
+    def _recall_good(self, key: tuple) -> dict | None:
+        with self._hot_lock:
+            return self._good.get(key)
+
+    def drop_hot(self) -> int:
+        """Evict the whole hot cache (drill/test hook); last-known-good stays.
+
+        Forces the next request of every artifact back through the
+        warehouse/compute tiers, which is how the chaos drill makes
+        store faults actually fire instead of being absorbed by the
+        hot tier.
+        """
+        with self._hot_lock:
+            dropped = len(self._hot)
+            self._hot.clear()
+        return dropped
 
     def _hot_get(self, key: tuple) -> _Encoded | None:
         with self._hot_lock:

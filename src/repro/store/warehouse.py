@@ -38,6 +38,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
+from repro.resilience.faults import corrupt_hook, fault_hook
+from repro.resilience.retry import STORE_POLICY, call_with_retry
 from repro.store.serialize import dump_value, load_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +71,18 @@ class StoreError(Exception):
 
 class StoreIntegrityError(StoreError):
     """An entry exists but its bytes do not match its recorded digests."""
+
+
+class StoreReadError(StoreError):
+    """An entry's payload file could not be read (possibly transient).
+
+    Distinct from :class:`StoreIntegrityError` on purpose: an ``OSError``
+    on a payload read may be a disk hiccup worth retrying (the session's
+    read-through wraps loads in the shared
+    :data:`repro.resilience.retry.STORE_POLICY`), whereas a checksum
+    mismatch is damage -- retrying re-reads the same wrong bytes, so it
+    goes straight to the warn+rebuild path.
+    """
 
 
 def _utcnow() -> str:
@@ -144,10 +158,67 @@ class ArtifactStore:
     def _entry_dir(self, digest: str) -> Path:
         return self.objects_dir / digest
 
+    @staticmethod
+    def _staging_pid(dirname: str) -> int | None:
+        """The writer pid embedded in a ``.tmp-<digest>-<pid>`` name."""
+        try:
+            return int(dirname.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OverflowError, OSError):
+            # EPERM: the pid exists but belongs to someone else -- alive.
+            # Anything stranger: assume alive; reaping stays conservative.
+            return True
+        return True
+
+    def reap_staging(self) -> list[str]:
+        """Remove ``.tmp-*`` staging directories whose writer is gone.
+
+        A writer that crashed mid-stage leaves its ``.tmp-<digest>-<pid>``
+        directory behind; before this reaper, it was only cleaned up if
+        the *same* digest was re-written by the *same* pid.  Directories
+        whose embedded pid is still alive are left alone (a concurrent
+        writer owns them); everything else -- dead pid, unparseable name
+        -- is a crash leftover and is dropped.  Returns the names reaped.
+        """
+        reaped: list[str] = []
+        if not self.objects_dir.is_dir():
+            return reaped
+        for entry_dir in sorted(self.objects_dir.iterdir()):
+            if not entry_dir.is_dir() or not entry_dir.name.startswith(".tmp-"):
+                continue
+            pid = self._staging_pid(entry_dir.name)
+            if pid is not None and pid != os.getpid() and self._pid_alive(pid):
+                continue
+            shutil.rmtree(entry_dir, ignore_errors=True)
+            reaped.append(entry_dir.name)
+        return reaped
+
     def _write_entry(
-        self, kind: str, name: str, key: tuple, files: dict[str, bytes]
+        self,
+        kind: str,
+        name: str,
+        key: tuple,
+        files: dict[str, bytes],
+        overwrite: bool = False,
     ) -> StoreEntry:
-        """Write one entry atomically (idempotent on existing digests)."""
+        """Write one entry atomically (idempotent on existing digests).
+
+        ``overwrite=True`` replaces an existing entry -- the repair path
+        the session takes after a load failed its integrity check, so a
+        damaged payload is actually healed by the rebuild instead of
+        being shadowed by the content-addressed skip-if-present fast
+        path.  Payload writes run under the shared store retry policy
+        (transient ``OSError``\\ s back off and re-stage; the staging
+        directory makes every attempt idempotent).
+        """
         digest = digest_key(kind, name, key)
         final_dir = self._entry_dir(digest)
         meta = {
@@ -172,25 +243,40 @@ class ArtifactStore:
             repro_version=meta["repro_version"],
             files=meta["files"],
         )
-        if not final_dir.exists():
+        if overwrite or not final_dir.exists():
             # Stage the whole directory, then rename into place, so a
             # concurrent reader can never observe a half-written entry.
             self.objects_dir.mkdir(parents=True, exist_ok=True)
-            tmp_dir = self.objects_dir / f".tmp-{digest}-{os.getpid()}"
-            if tmp_dir.exists():  # pragma: no cover - stale crash leftover
-                shutil.rmtree(tmp_dir)
-            tmp_dir.mkdir(parents=True)
-            for filename, blob in files.items():
-                (tmp_dir / filename).write_bytes(blob)
-            (tmp_dir / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
-            try:
-                os.replace(tmp_dir, final_dir)
-            except OSError:  # pragma: no cover - lost a write race
-                shutil.rmtree(tmp_dir, ignore_errors=True)
-                if not final_dir.exists():
-                    raise
+            self.reap_staging()
+            call_with_retry(
+                lambda: self._stage_and_publish(digest, meta, files, overwrite),
+                label="store:write",
+                policy=STORE_POLICY,
+            )
         self._index_entry(entry)
         return entry
+
+    def _stage_and_publish(
+        self, digest: str, meta: dict, files: dict[str, bytes], overwrite: bool
+    ) -> None:
+        """One staged-write attempt (retried whole by :meth:`_write_entry`)."""
+        fault_hook("store-write", digest)
+        final_dir = self._entry_dir(digest)
+        tmp_dir = self.objects_dir / f".tmp-{digest}-{os.getpid()}"
+        if tmp_dir.exists():  # stale leftover from a failed earlier attempt
+            shutil.rmtree(tmp_dir)
+        tmp_dir.mkdir(parents=True)
+        for filename, blob in files.items():
+            (tmp_dir / filename).write_bytes(blob)
+        (tmp_dir / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+        if overwrite and final_dir.exists():
+            shutil.rmtree(final_dir)
+        try:
+            os.replace(tmp_dir, final_dir)
+        except OSError:  # pragma: no cover - lost a write race
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            if not final_dir.exists():
+                raise
 
     def _read_entry(self, kind: str, name: str, key: tuple) -> dict[str, bytes] | None:
         """Read (and integrity-check) one entry's payload files."""
@@ -202,11 +288,13 @@ class ArtifactStore:
         for filename, info in meta["files"].items():
             path = self._entry_dir(digest) / filename
             try:
+                fault_hook("store-read", f"{digest}/{filename}")
                 blob = path.read_bytes()
             except OSError as exc:
-                raise StoreIntegrityError(
+                raise StoreReadError(
                     f"{digest}: payload file {filename} unreadable ({exc})"
                 ) from exc
+            blob = corrupt_hook(blob, f"{digest}/{filename}")
             if _sha256(blob) != info["sha256"]:
                 raise StoreIntegrityError(
                     f"{digest}: payload file {filename} does not match its "
@@ -249,7 +337,9 @@ class ArtifactStore:
 
     # -- layers -------------------------------------------------------------
 
-    def save_layer(self, layer: str, key: tuple, value: Any) -> StoreEntry:
+    def save_layer(
+        self, layer: str, key: tuple, value: Any, overwrite: bool = False
+    ) -> StoreEntry:
         """Persist one built session layer under its cache key.
 
         Traffic layers get their per-residence frames built first: the
@@ -257,20 +347,28 @@ class ArtifactStore:
         frames must be in the payload for a warm-started session to
         analyze without ever rebuilding a record (the frames are what
         the analyses read; building them is idempotent).
+
+        ``overwrite=True`` forces re-encoding and replacement of an
+        existing entry -- the session's repair path after a failed load.
         """
-        existing = self._existing_entry("layer", layer, key)
-        if existing is not None:
-            return existing
+        if not overwrite:
+            existing = self._existing_entry("layer", layer, key)
+            if existing is not None:
+                return existing
         if layer == "traffic":
             for dataset in getattr(value, "datasets", {}).values():
                 dataset.frame()
-        return self._write_entry("layer", layer, key, dump_value(value))
+        return self._write_entry(
+            "layer", layer, key, dump_value(value), overwrite=overwrite
+        )
 
     def load_layer(self, layer: str, key: tuple) -> Any | None:
         """Load one layer, or ``None`` when the store has no such entry.
 
         Raises :class:`StoreIntegrityError` when the entry exists but its
-        bytes fail the checksum.
+        bytes fail the checksum, and :class:`StoreReadError` when a
+        payload file cannot be read at all (possibly transient -- the
+        session's read-through retries it).
         """
         files = self._read_entry("layer", layer, key)
         return None if files is None else load_value(files)
@@ -281,14 +379,21 @@ class ArtifactStore:
 
     # -- rendered artifacts -------------------------------------------------
 
-    def save_artifact(self, name: str, key: tuple, document: dict) -> StoreEntry:
+    def save_artifact(
+        self, name: str, key: tuple, document: dict, overwrite: bool = False
+    ) -> StoreEntry:
         """Persist one rendered artifact document as JSON."""
-        existing = self._existing_entry("artifact", name, key)
-        if existing is not None:
-            return existing
+        if not overwrite:
+            existing = self._existing_entry("artifact", name, key)
+            if existing is not None:
+                return existing
         blob = json.dumps(document, separators=(",", ":"), sort_keys=False)
         return self._write_entry(
-            "artifact", name, key, {ARTIFACT_FILE: blob.encode("utf-8")}
+            "artifact",
+            name,
+            key,
+            {ARTIFACT_FILE: blob.encode("utf-8")},
+            overwrite=overwrite,
         )
 
     def load_artifact(self, name: str, key: tuple) -> dict | None:

@@ -10,7 +10,9 @@ from repro.util.procpool import (
     fallback_contexts,
     map_in_pool,
     resolve_worker_count,
+    resubmitted_shards,
     warn_pool_fallback,
+    warn_shard_resubmission,
 )
 from repro.util.rng import RngStream, derive_seed
 from repro.util.stats import (
@@ -42,7 +44,9 @@ __all__ = [
     "fallback_contexts",
     "map_in_pool",
     "resolve_worker_count",
+    "resubmitted_shards",
     "warn_pool_fallback",
+    "warn_shard_resubmission",
     "RngStream",
     "derive_seed",
     "BoxStats",

@@ -14,6 +14,17 @@ sweep either, and three copies of the same diagnosis are noise.  The
 first fallback names its context and says the degradation applies to
 every later fan-out; the rest are recorded (:func:`fallback_contexts`)
 but silent.
+
+A pool that *breaks mid-map* (one worker crashed: OOM-killed, killed by
+a signal, or an injected :class:`~repro.resilience.faults.
+InjectedWorkerCrash`) is different from a pool that never existed --
+the surviving shards already computed their results.  ``map_in_pool``
+therefore collects per-shard futures and **resubmits only the lost
+shards sequentially** in the parent; every task draws from its own
+seeded RNG substream, so a resubmitted shard is bit-identical to the
+one the crashed worker would have returned, and parallel ≡ sequential
+determinism survives the crash.  Resubmissions are recorded in
+:func:`resubmitted_shards` and warned about once per process.
 """
 
 from __future__ import annotations
@@ -44,6 +55,10 @@ POOL_UNAVAILABLE_ERRNOS = frozenset(
 #: Contexts that have fallen back in this process, in order; only the
 #: first emitted the warning.
 _FELL_BACK: list[str] = []
+
+#: ``(context, shard_count)`` of every mid-map crash recovery, in order;
+#: only the first emitted a warning.
+_RESUBMITTED: list[tuple[str, int]] = []
 
 
 def warn_pool_fallback(context: str, reason: BaseException | str) -> None:
@@ -81,9 +96,32 @@ def fallback_contexts() -> tuple[str, ...]:
     return tuple(_FELL_BACK)
 
 
+def resubmitted_shards() -> tuple[tuple[str, int], ...]:
+    """``(context, lost_shard_count)`` per mid-map crash recovery, in order."""
+    return tuple(_RESUBMITTED)
+
+
+def warn_shard_resubmission(context: str, lost: int) -> None:
+    """Record (and once per process, warn about) a mid-map crash recovery."""
+    first = not _RESUBMITTED
+    _RESUBMITTED.append((context, lost))
+    if not first:
+        return
+    warnings.warn(
+        f"{context}: a pool worker crashed mid-map; re-running {lost} lost "
+        "shard(s) sequentially in the parent -- results are bit-identical "
+        "(every shard draws from its own seeded substream), but part of the "
+        "fan-out ran inline (warned once per process; later recoveries are "
+        "recorded in resubmitted_shards() silently)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def reset_pool_fallback_warnings() -> None:
-    """Forget the fallbacks seen so far (test isolation hook)."""
+    """Forget the fallbacks and resubmissions seen so far (test hook)."""
     _FELL_BACK.clear()
+    _RESUBMITTED.clear()
 
 
 def resolve_worker_count(parallel: bool | int | None, num_tasks: int) -> int:
@@ -113,14 +151,22 @@ def map_in_pool(
     initializer: Callable[..., None] | None = None,
     initargs: Iterable[Any] = (),
 ) -> list[Any] | None:
-    """``pool.map(fn, tasks)`` with the shared degrade-to-inline contract.
+    """Pool-map ``fn`` over ``tasks`` with the shared degradation contract.
 
     Returns the results in task order, or ``None`` when this environment
-    cannot run a process pool (pool creation or dispatch failed) -- after
-    emitting the one-time :func:`warn_pool_fallback` warning -- so the
-    caller runs its sequential path instead.  An :class:`OSError` whose
-    errno is *not* in :data:`POOL_UNAVAILABLE_ERRNOS` is a bug in the
-    parallelized code itself and propagates.
+    cannot run a process pool at all (pool creation or dispatch failed)
+    -- after emitting the one-time :func:`warn_pool_fallback` warning --
+    so the caller runs its sequential path instead.  An :class:`OSError`
+    whose errno is *not* in :data:`POOL_UNAVAILABLE_ERRNOS` is a bug in
+    the parallelized code itself and propagates.
+
+    A pool that breaks *mid-map* does not discard the surviving shards:
+    each task is submitted as its own future, and only the shards lost
+    to the crash (:class:`BrokenProcessPool` on their result) re-run
+    sequentially in the parent -- after re-running ``initializer`` here,
+    since the worker state it built died with the pool.  Each task is a
+    pure function of its arguments (per-shard RNG substreams), so the
+    recovered map is bit-identical to an undisturbed one.
 
     ``initializer``/``initargs`` follow the executor's semantics: use
     them to ship large shared state once per worker instead of once per
@@ -128,11 +174,15 @@ def map_in_pool(
     """
     if workers <= 1 or not tasks:
         return None
+    # Imported here, not at module top: faults sits on top of util.rng,
+    # so a module-level import would cycle through the util package init.
+    from repro.resilience.faults import fault_hook
+
+    initargs = tuple(initargs)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=tuple(initargs)
-        ) as pool:
-            return list(pool.map(fn, tasks))
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
     except (BrokenProcessPool, pickle.PicklingError) as exc:
         warn_pool_fallback(context, exc)
         return None
@@ -141,3 +191,43 @@ def map_in_pool(
             raise
         warn_pool_fallback(context, exc)
         return None
+    results: list[Any] = [None] * len(tasks)
+    lost: list[int] = []
+    try:
+        with pool:
+            futures: list[Any] = []
+            for task in tasks:
+                try:
+                    futures.append(pool.submit(fn, task))
+                except BrokenProcessPool:
+                    # The pool died while we were still feeding it; the
+                    # unsubmitted tail is lost the same way a crashed
+                    # shard is.
+                    futures.append(None)
+            for index, future in enumerate(futures):
+                try:
+                    fault_hook("worker-crash", f"{context}: shard {index}")
+                    if future is None:
+                        raise BrokenProcessPool(
+                            f"shard {index} was never submitted (pool broke)"
+                        )
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    lost.append(index)
+    except pickle.PicklingError as exc:
+        # Tasks or results this pool cannot ship at all: per-shard
+        # recovery cannot help, degrade to the caller's sequential path.
+        warn_pool_fallback(context, exc)
+        return None
+    except OSError as exc:
+        if exc.errno not in POOL_UNAVAILABLE_ERRNOS:
+            raise
+        warn_pool_fallback(context, exc)
+        return None
+    if lost:
+        warn_shard_resubmission(context, len(lost))
+        if initializer is not None:
+            initializer(*initargs)
+        for index in lost:
+            results[index] = fn(tasks[index])
+    return results

@@ -18,6 +18,7 @@ AGGREGATORS = [
     "repro.whatif",
     "repro.store",
     "repro.serve",
+    "repro.resilience",
 ]
 
 

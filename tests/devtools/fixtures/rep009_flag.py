@@ -1,0 +1,24 @@
+"""Flag fixture for REP009: ad-hoc retry/backoff loops."""
+
+import asyncio
+import time
+
+
+def poll_until_ready(check):
+    while not check():
+        time.sleep(0.5)  # sleep-in-loop: hand-rolled polling backoff
+
+
+def fetch_with_retries(fetch):
+    for attempt in range(5):  # retry-shaped: range + swallow + continue
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(2**attempt)  # and its backoff sleep
+            continue
+    raise RuntimeError("gave up")
+
+
+async def drain(queue):
+    while queue.pending():
+        await asyncio.sleep(0.1)  # async flavour of the same ad-hoc loop

@@ -1,0 +1,21 @@
+"""Pass fixture: loops and sleeps that are not retries."""
+
+import time
+
+
+def settle_once():
+    time.sleep(0.1)  # a single sleep outside any loop is not a retry
+
+
+def chunked(items, size):
+    for start in range(0, len(items), size):  # plain range loop, no swallow
+        yield items[start:start + size]
+
+
+def first_parse(texts):
+    for text in texts:  # exception handling without looping on failure
+        try:
+            return int(text)
+        except ValueError:
+            pass
+    return None

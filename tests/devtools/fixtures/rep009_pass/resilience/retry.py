@@ -1,0 +1,15 @@
+"""Pass fixture: the shared policy's own backoff loop (resilience/ path)."""
+
+import time
+
+
+def call_with_retry(fn, attempts, delay):
+    last = None
+    for attempt in range(attempts):  # the one sanctioned retry loop
+        try:
+            return fn()
+        except OSError as exc:
+            last = exc
+            time.sleep(delay * (attempt + 1))
+            continue
+    raise last

@@ -26,6 +26,7 @@ FLAG_CASES = [
     ("REP006", "rep006_flag", 4),
     ("REP007", "rep007_flag", 3),
     ("REP008", "rep008_flag.py", 3),
+    ("REP009", "rep009_flag.py", 4),
 ]
 
 PASS_CASES = [
@@ -37,6 +38,7 @@ PASS_CASES = [
     ("REP006", "rep006_pass"),
     ("REP007", "rep007_pass"),
     ("REP008", "rep008_pass.py"),
+    ("REP009", "rep009_pass"),
 ]
 
 

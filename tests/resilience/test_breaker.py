@@ -1,0 +1,126 @@
+"""Circuit breaker transitions, driven by an injected clock (no sleeping)."""
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_after_s=5.0, clock=clock)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip_at_the_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # two of three: still serving
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_a_success_resets_the_consecutive_count(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"  # never three in a row
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after_s=-1.0, clock=clock)
+
+
+class TestRecovery:
+    def _trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_half_open_after_the_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+
+    def test_exactly_one_probe_in_half_open(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else keeps degrading
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # fully re-admitted
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # a fresh probe after the new cooldown
+
+    def test_snapshot_reports_the_health_fields(self, breaker, clock):
+        self._trip(breaker)
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": "open",
+            "consecutive_failures": 3,
+            "failure_threshold": 3,
+            "reset_after_s": 5.0,
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_never_corrupts_state(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=0.0, clock=clock)
+
+        def hammer():
+            for _ in range(200):
+                breaker.allow()
+                breaker.record_failure()
+                breaker.record_success()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()

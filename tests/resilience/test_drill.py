@@ -1,0 +1,41 @@
+"""The chaos drill as a library call: the CI acceptance gate, in-process.
+
+One full run at the CLI's default scale (it is CI-smoke sized) pins the
+three headline properties -- bit-identical recovery from worker
+crashes, zero 5xx under store faults, zero on-disk corruption -- plus
+the replayability of the report itself.
+"""
+
+import json
+
+from repro.resilience import run_drill
+from repro.resilience.drill import DEFAULT_FAULTS
+from repro.resilience.faults import FaultPlan
+
+
+class TestRunDrill:
+    def test_seed_7_drill_passes_clean(self, tmp_path):
+        report = run_drill(seed=7, store_root=str(tmp_path / "warehouse"))
+        assert report["problems"] == []
+        assert report["ok"] is True
+
+        pool = report["pool_crash"]
+        assert pool["faults_fired"] >= 1  # at least one crash actually fired
+        assert pool["bit_identical"] is True
+        assert pool["resubmitted_shards"]  # ... and shards were re-run
+
+        serve = report["serve_chaos"]
+        assert serve["requests"] == 10
+        assert all(status < 500 for _target, status in serve["statuses"])
+        assert serve["faults_fired"]  # the chaos was not a no-op
+        assert serve["store_verify_problems"] == 0
+
+        # The report is the CLI's --format json payload: keep it JSON-safe.
+        json.dumps(report)
+
+    def test_report_schedule_matches_a_rebuilt_plan(self, tmp_path):
+        report = run_drill(seed=11, store_root=str(tmp_path / "warehouse"))
+        rebuilt = FaultPlan(DEFAULT_FAULTS, seed=11).schedule()
+        assert report["schedule"] == {
+            kind: list(indices) for kind, indices in rebuilt.items()
+        }

@@ -206,6 +206,47 @@ class TestHttpServer:
 
         run(scenario)
 
+    def test_truncated_request_body_closes_quietly(self):
+        """A client that dies mid-body gets a clean close, not a 4xx/5xx.
+
+        The promised ``Content-Length`` never arrives
+        (:class:`asyncio.IncompleteReadError` on the drain read); the
+        server must not answer a half request -- no response bytes at
+        all -- and the connection after it must be unaffected.
+        """
+
+        async def scenario(port, service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 64\r\n\r\nonly this"
+            )
+            await writer.drain()
+            writer.write_eof()  # body stops 55 bytes short
+            assert await reader.read() == b""  # quiet close, zero bytes sent
+            writer.close()
+            await writer.wait_closed()
+
+            # The listener survives: a fresh connection still serves.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            status, _headers, _body = await request(reader, writer, "/healthz")
+            assert status == 200
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario)
+
+    def test_connect_and_leave_closes_quietly(self):
+        """A connection that sends nothing gets EOF back, not an error."""
+
+        async def scenario(port, service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write_eof()  # health checkers and port scanners do this
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario)
+
     def test_warmer_reports_through_healthz(self):
         async def scenario(port, service):
             loop = asyncio.get_running_loop()

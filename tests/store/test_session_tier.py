@@ -8,6 +8,7 @@ an error.
 """
 
 import json
+import warnings
 
 import pytest
 
@@ -98,6 +99,82 @@ class TestDegradation:
         assert rebuilt.num_days == CONFIG.days
         assert BUILD_COUNTS["traffic"] == before["traffic"] + 1
         assert STORE_COUNTS["error:traffic"] >= 1
+
+    def test_injected_corruption_rebuilds_and_repairs_bit_identically(self, store):
+        """Satellite contract: corrupt read -> warn + rebuild + repair.
+
+        The ``corrupt-blob`` fault mutates the *read*, never the disk;
+        the session must warn, rebuild the layer, and write the repaired
+        entry back -- after which the payload bytes are identical to the
+        pristine ones and a faultless reload is a clean store hit.
+        """
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+
+        Study(CONFIG).traffic  # build + write-behind the pristine entry
+        [entry] = [e for e in store.entries() if e.name == "traffic"]
+        payload_path = store.objects_dir / entry.digest / PAYLOAD_FILE
+        pristine = payload_path.read_bytes()
+
+        clear_caches()
+        before = BUILD_COUNTS.copy()
+        writes = STORE_COUNTS["write:traffic"]
+        # count == horizon: the very first blob read comes back corrupted.
+        plan = FaultPlan([FaultSpec("corrupt-blob", count=1, horizon=1)], seed=7)
+        with inject_faults(plan):
+            with pytest.warns(RuntimeWarning, match="could not load the traffic"):
+                rebuilt = Study(CONFIG).traffic
+        assert rebuilt.num_days == CONFIG.days
+        assert BUILD_COUNTS["traffic"] == before["traffic"] + 1
+        assert STORE_COUNTS["error:traffic"] >= 1
+        assert STORE_COUNTS["write:traffic"] == writes + 1  # the repair write
+
+        # Round trip of the repaired entry: bit-identical bytes on disk,
+        # and a faultless cold load serves it with zero rebuilds.
+        assert payload_path.read_bytes() == pristine
+        clear_caches()
+        before = BUILD_COUNTS.copy()
+        Study(CONFIG).traffic
+        assert BUILD_COUNTS == before
+        assert store.verify() == []
+
+    def test_transient_read_fault_is_retried_and_recovered(self, store):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+        from repro.resilience.retry import RETRY_COUNTS, reset_retry_counts
+
+        Study(CONFIG).traffic
+        clear_caches()
+        reset_retry_counts()
+        before = BUILD_COUNTS.copy()
+        # Exactly the first read op fails; the retry's second attempt
+        # reads clean, so the disk tier still serves -- no rebuild.
+        plan = FaultPlan([FaultSpec("store-read", count=1, horizon=1)], seed=7)
+        with inject_faults(plan):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # any warning would fail
+                Study(CONFIG).traffic
+        assert BUILD_COUNTS == before
+        assert STORE_COUNTS["retry:traffic"] >= 1
+        assert RETRY_COUNTS["recovered:store:traffic"] == 1
+        reset_retry_counts()
+
+    def test_exhausted_read_retries_degrade_to_rebuild(self, store):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+        from repro.resilience.retry import RETRY_COUNTS, reset_retry_counts
+
+        Study(CONFIG).traffic
+        clear_caches()
+        reset_retry_counts()
+        before = BUILD_COUNTS.copy()
+        # Every read op fails: the store policy gives up, the session
+        # falls back to a rebuild instead of erroring out.
+        plan = FaultPlan([FaultSpec("store-read", count=8, horizon=8)], seed=7)
+        with inject_faults(plan):
+            with pytest.warns(RuntimeWarning, match="could not load the traffic"):
+                Study(CONFIG).traffic
+        assert BUILD_COUNTS["traffic"] == before["traffic"] + 1
+        assert STORE_COUNTS["error:traffic"] >= 1
+        assert RETRY_COUNTS["gaveup:store:traffic"] >= 1
+        reset_retry_counts()
 
     def test_no_store_means_no_store_traffic(self, tmp_path):
         set_store(None)

@@ -28,6 +28,21 @@ def _fresh_process_state():
     reset_pool_fallback_warnings()
 
 
+_INIT_STATE: dict = {}
+
+
+def _square(task):  # top-level: must pickle into real worker processes
+    return task * task
+
+
+def _remember(value):
+    _INIT_STATE["value"] = value
+
+
+def _offset(task):
+    return _INIT_STATE["value"] + task
+
+
 class TestOneWarningPerProcess:
     def test_exactly_one_warning_across_subsystem_contexts(self):
         """The satellite contract: traffic + observatory + whatif sweep
@@ -85,6 +100,77 @@ class TestOneWarningPerProcess:
             "traffic generation",
             "observatory probe rounds",
         )
+
+
+class TestShardResubmission:
+    """A pool that breaks *mid-map* loses only its crashed shards.
+
+    Crashes are injected deterministically (seeded ``worker-crash``
+    plans fire :class:`BrokenProcessPool` at scheduled shard indices
+    during collection), so these run against real worker processes with
+    a replayable failure pattern.
+    """
+
+    def test_lost_shards_rerun_and_results_match_sequential(self):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+        from repro.util.procpool import resubmitted_shards
+
+        tasks = list(range(8))
+        plan = FaultPlan([FaultSpec("worker-crash", count=2, horizon=8)], seed=7)
+        with inject_faults(plan):
+            with pytest.warns(RuntimeWarning, match="re-running 2 lost"):
+                results = map_in_pool(_square, tasks, 2, "traffic generation")
+        assert results == [task * task for task in tasks]  # bit-identical
+        assert resubmitted_shards() == (("traffic generation", 2),)
+        assert plan.fired() == {"worker-crash": 2}
+        assert fallback_contexts() == ()  # recovery, not a full fallback
+
+    def test_total_crash_still_recovers_every_shard(self):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+        from repro.util.procpool import resubmitted_shards
+
+        plan = FaultPlan([FaultSpec("worker-crash", count=4, horizon=4)], seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with inject_faults(plan):
+                results = map_in_pool(_square, [1, 2, 3, 4], 2, "whatif sweep")
+        assert results == [1, 4, 9, 16]
+        assert resubmitted_shards() == (("whatif sweep", 4),)
+
+    def test_resubmission_warns_once_per_process(self):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+        from repro.util.procpool import resubmitted_shards
+
+        plan = FaultPlan([FaultSpec("worker-crash", count=4, horizon=4)], seed=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with inject_faults(plan):
+                map_in_pool(_square, [1, 2], 2, "traffic generation")
+                map_in_pool(_square, [3, 4], 2, "observatory probe rounds")
+        crashes = [w for w in caught if "crashed mid-map" in str(w.message)]
+        assert len(crashes) == 1
+        assert resubmitted_shards() == (
+            ("traffic generation", 2),
+            ("observatory probe rounds", 2),
+        )
+
+    def test_initializer_reruns_in_the_parent_for_lost_shards(self):
+        from repro.resilience import FaultPlan, FaultSpec, inject_faults
+
+        _INIT_STATE["value"] = None  # parent state the initializer must set
+        plan = FaultPlan([FaultSpec("worker-crash", count=2, horizon=2)], seed=1)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with inject_faults(plan):
+                    results = map_in_pool(
+                        _offset, [10, 20], 2, "traffic generation",
+                        initializer=_remember, initargs=(100,),
+                    )
+            assert results == [110, 120]
+            assert _INIT_STATE["value"] == 100  # re-ran here, not just in workers
+        finally:
+            _INIT_STATE.clear()
 
 
 class TestWorkerCount:
