@@ -1,0 +1,68 @@
+"""CI gate: a /metrics scrape parses and shows real serving traffic.
+
+Usage: ``python .github/scripts/check_metrics.py /tmp/metrics.prom``
+
+Asserts the scrape the serve-smoke job curled is well-formed Prometheus
+text exposition (0.0.4) and that the counters the curls must have moved
+-- requests, hot-cache hits, 304 revalidations -- are present and
+non-zero.  A serving tier whose own traffic does not show up on its
+/metrics endpoint has broken observability, whatever else still works.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+#: ``name{labels} value`` or ``name value`` -- one exposition sample.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(?: [0-9.+-]+)?$"
+)
+
+
+def parse(text: str) -> dict[str, float]:
+    """Validate every line; return un-labeled totals per metric name."""
+    totals: dict[str, float] = {}
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise SystemExit(f"line {lineno}: blank line in exposition")
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            if line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+            continue
+        if not SAMPLE_RE.match(line):
+            raise SystemExit(f"line {lineno}: not a valid sample: {line!r}")
+        name_part, _, value = line.rpartition(" ")
+        name = name_part.split("{", 1)[0]
+        totals[name] = totals.get(name, 0.0) + float(value)
+    if not typed:
+        raise SystemExit("no # TYPE lines: not a Prometheus exposition")
+    return totals
+
+
+def main(path: str) -> None:
+    text = open(path, encoding="utf-8").read()
+    if not text.endswith("\n"):
+        raise SystemExit("exposition must end with a newline")
+    totals = parse(text)
+    required_nonzero = (
+        "serve_requests_total",
+        "serve_hot_cache_hits_total",  # the repeat contrast GETs hit hot
+        "serve_not_modified_total",  # the If-None-Match curl revalidated
+    )
+    for name in required_nonzero:
+        total = totals.get(name)
+        if total is None:
+            raise SystemExit(f"metric {name} missing from /metrics")
+        if not total > 0:
+            raise SystemExit(f"metric {name} is zero; the smoke traffic "
+                             "did not register")
+        print(f"ok: {name} = {total:g}")
+    print(f"ok: {len(totals)} metric families, exposition parses")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    main(sys.argv[1])

@@ -34,6 +34,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.api import Study, StudyConfig, clear_caches, registry
+from repro.telemetry import (
+    recent_spans,
+    registry as metrics_registry,
+    reset_trace,
+    span,
+    span_tree,
+)
 
 #: The committed perf trajectory anchor for the smoke scale.  Update it
 #: deliberately (with a PR that explains the new cost) whenever the
@@ -86,10 +93,17 @@ def main(argv: list[str] | None = None) -> int:
     phases: dict[str, float] = {}
     overall_start = time.perf_counter()
 
+    # Every phase runs inside a span, all under one perf:smoke root, so
+    # the same run that times the phases also produces the span tree CI
+    # uploads (TRACE_smoke.json) -- one clock, two reports.
+    reset_trace()
+    smoke_span = span("perf:smoke", days=args.days, sites=args.sites)
+    smoke_span.__enter__()
+
     def timed(name: str, thunk) -> None:
-        start = time.perf_counter()
-        thunk()
-        phases[name] = time.perf_counter() - start
+        with span(f"perf:{name}") as phase_span:
+            thunk()
+        phases[name] = phase_span.duration_s
 
     timed("build:traffic", lambda: study.traffic)
     timed("build:census", lambda: study.census)
@@ -147,6 +161,8 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     total = time.perf_counter() - overall_start
+    smoke_span.__exit__(None, None, None)
+    smoke_tree = span_tree(recent_spans()[-1])
     sweep_warm = phases["whatif:sweep"]
     sweep_cold = phases["whatif:sweep_cold"]
     payload = {
@@ -183,12 +199,20 @@ def main(argv: list[str] | None = None) -> int:
         },
         "total_wall_s": round(total, 3),
         "budget_s": args.budget,
+        # The same run's span tree + registry snapshot: per-phase wall
+        # attribution with the layer/store/artifact spans nested inside.
+        "telemetry": {
+            "span_tree": smoke_tree,
+            "metrics": metrics_registry().snapshot(),
+        },
         # Distinct key from the benchmark harness's per-phase "reference"
         # block: both writers share this file path and schema tag.
         "smoke_reference": SMOKE_REFERENCE,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    trace_path = args.output.parent / "TRACE_smoke.json"
+    trace_path.write_text(json.dumps({"spans": [smoke_tree]}, indent=2) + "\n")
 
     slowest = sorted(phases.items(), key=lambda kv: -kv[1])[:5]
     print(f"perf-smoke: days={args.days} sites={args.sites} "
@@ -202,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, seconds in slowest:
         print(f"  {seconds:8.2f}s  {name}")
     print(f"  wrote {args.output}")
+    print(f"  wrote {trace_path}")
     if total > args.budget:
         print("perf-smoke: FAILED -- over budget", file=sys.stderr)
         return 1

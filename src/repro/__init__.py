@@ -31,4 +31,4 @@ session's build memoization and the registry's text/JSON rendering, and
 the ad-hoc build-then-render pattern it encouraged is deprecated.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

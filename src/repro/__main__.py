@@ -36,7 +36,7 @@ _META = ("all", "list")
 
 #: Subcommands dispatched before artifact parsing (and offered by the
 #: did-you-mean hint when a first argument matches nothing).
-_SUBCOMMANDS = ("store", "serve", "lint", "resilience")
+_SUBCOMMANDS = ("store", "serve", "lint", "resilience", "trace")
 
 
 def version_string() -> str:
@@ -252,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_version_argument(parser)
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
+    parser.add_argument("--telemetry-json", default=None, metavar="PATH",
+                        help="after the run, dump the telemetry snapshot "
+                        "(metrics + the run's span tree) as JSON to PATH")
     return parser
 
 
@@ -298,6 +301,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "resilience":
         return _resilience_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     requested = list(dict.fromkeys(args.artifacts))
@@ -328,16 +333,19 @@ def main(argv: list[str] | None = None) -> int:
     def log(message: str) -> None:
         print(message, file=sys.stderr)
 
+    from repro.telemetry import span
+
     studies: dict[StudyConfig, Study] = {}
     results: list[tuple[str, StudyConfig, object]] = []
-    for item in expanded:
-        name, overrides = parse_artifact_spec(item)
-        try:
-            config = base.replace(**overrides) if overrides else base
-        except ValueError as exc:
-            parser.error(f"{item}: {exc}")
-        study = studies.setdefault(config, Study(config, log=log))
-        results.append((item, config, study.artifact(name)))
+    with span("cli:run", artifacts=len(expanded), scale=args.scale):
+        for item in expanded:
+            name, overrides = parse_artifact_spec(item)
+            try:
+                config = base.replace(**overrides) if overrides else base
+            except ValueError as exc:
+                parser.error(f"{item}: {exc}")
+            study = studies.setdefault(config, Study(config, log=log))
+            results.append((item, config, study.artifact(name)))
 
     if args.format == "json":
         # Keyed by the requested spec (unique after dedup), each entry
@@ -359,6 +367,102 @@ def main(argv: list[str] | None = None) -> int:
             if index:
                 print("\n" + "=" * 72 + "\n")
             print(result.to_text())
+    if args.telemetry_json:
+        from pathlib import Path
+
+        from repro.telemetry import telemetry_document
+
+        Path(args.telemetry_json).write_text(
+            json.dumps(telemetry_document(), indent=2) + "\n"
+        )
+        log(f"# telemetry: wrote {args.telemetry_json}")
+    return 0
+
+
+def _entry_age_s(created_at: str) -> float | None:
+    """Seconds since a store entry's ``created_at`` stamp (``None`` if odd).
+
+    Operator-facing output only (``store ls``): the age never enters
+    artifact bytes, digests, or cache keys.
+    """
+    from datetime import datetime, timezone
+
+    try:
+        created = datetime.fromisoformat(created_at)
+    except (TypeError, ValueError):
+        return None
+    if created.tzinfo is None:
+        created = created.replace(tzinfo=timezone.utc)
+    # replint: allow[REP001] operator-facing entry age in store ls output only
+    return max(0.0, round((datetime.now(timezone.utc) - created).total_seconds(), 1))
+
+
+def _format_age(age_s: float) -> str:
+    """``93784.0`` -> ``"1d2h"``; coarse on purpose (a listing, not a log)."""
+    if age_s < 60:
+        return f"{int(age_s)}s"
+    if age_s < 3600:
+        return f"{int(age_s // 60)}m{int(age_s % 60)}s"
+    if age_s < 86400:
+        return f"{int(age_s // 3600)}h{int(age_s % 3600 // 60)}m"
+    return f"{int(age_s // 86400)}d{int(age_s % 86400 // 3600)}h"
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``python -m repro trace`` -- run artifacts under the span tracer."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run artifacts and export the build span tree -- compact "
+        "JSON (--format tree) or chrome://tracing Trace Event Format "
+        "(--format chrome; load the file via the tracing UI or Perfetto).",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="artifact",
+        help="artifact names to run under the tracer (default: all)",
+    )
+    parser.add_argument("--format", choices=("tree", "chrome"), default="tree",
+                        help="export shape (default: tree)")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write the JSON here instead of stdout")
+    _add_store_argument(parser)
+    _add_version_argument(parser)
+    _add_scale_arguments(parser)
+    args = parser.parse_args(argv)
+    names = list(dict.fromkeys(args.artifacts)) or registry.names()
+    unknown = [name for name in names if name not in registry.names()]
+    if unknown:
+        parser.error(
+            f"unknown artifacts: {', '.join(unknown)} "
+            "(try: python -m repro list)"
+        )
+    _activate_store(args, parser)
+    config = _config_from_args(args, parser)
+
+    from repro.telemetry import chrome_trace, recent_spans, reset_trace, span, span_tree
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    reset_trace()  # export exactly this run, not whatever came before
+    study = Study(config, log=log)
+    with span("trace:run", artifacts=len(names), scale=args.scale):
+        for name in names:
+            study.artifact(name)
+    roots = recent_spans()
+    if args.format == "chrome":
+        document: dict = chrome_trace(roots)
+    else:
+        document = {"spans": [span_tree(root) for root in roots]}
+    text = json.dumps(document, indent=2)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        log(f"# trace: wrote {args.format} JSON to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -406,10 +510,16 @@ def _store_main(argv: list[str]) -> int:
 
     if args.command == "ls":
         entries = sorted(store.entries(), key=lambda e: (e.kind, e.name, e.digest))
+        # The index totals come off the registry gauges the warehouse
+        # maintains (refreshed here so a read-only process adopts the
+        # on-disk index), not from a second objects/ rescan.
+        indexed_entries, indexed_bytes = store.refresh_gauges()
         if args.format == "json":
             print(json.dumps(
                 {
                     "root": str(store.root),
+                    "indexed_entries": indexed_entries,
+                    "indexed_bytes": indexed_bytes,
                     "entries": [
                         {
                             "digest": entry.digest,
@@ -418,6 +528,7 @@ def _store_main(argv: list[str]) -> int:
                             "key": entry.key,
                             "bytes": entry.total_bytes,
                             "created_at": entry.created_at,
+                            "age_s": _entry_age_s(entry.created_at),
                             "repro_version": entry.repro_version,
                         }
                         for entry in entries
@@ -429,14 +540,16 @@ def _store_main(argv: list[str]) -> int:
         from repro.util.tables import TextTable
 
         table = TextTable(
-            ["kind", "name", "digest", "bytes", "created"],
-            title=f"{store.root} -- {len(entries)} entries, "
-            f"{store.total_bytes():,} bytes",
+            ["kind", "name", "digest", "bytes", "created", "age"],
+            title=f"{store.root} -- {indexed_entries} indexed entries, "
+            f"{indexed_bytes:,} bytes",
         )
         for entry in entries:
+            age = _entry_age_s(entry.created_at)
             table.add_row([
                 entry.kind, entry.name, entry.digest[:12],
                 f"{entry.total_bytes:,}", entry.created_at,
+                "?" if age is None else _format_age(age),
             ])
         print(table.render())
         return 0

@@ -220,9 +220,17 @@ def get(name: str) -> ArtifactSpec:
 
 
 def run(study: "Study", name: str, **params: Any) -> ArtifactResult:
-    """Run one artifact against ``study`` and normalize the result."""
+    """Run one artifact against ``study`` and normalize the result.
+
+    Each run opens an ``artifact:<name>`` span, so layer builds the
+    artifact triggers nest under it in the trace tree (and a CLI or
+    serve span above sees per-artifact attribution).
+    """
+    from repro.telemetry import span
+
     spec = get(name)
-    result = spec.fn(study, **params)
+    with span(f"artifact:{name}"):
+        result = spec.fn(study, **params)
     if not result.name:
         result.name = spec.name
     if not result.title and spec.title:

@@ -18,7 +18,6 @@ the benchmark harness and ``python -m repro all`` rely on).
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
@@ -32,6 +31,7 @@ from repro.datasets.scenarios import (
     build_census,
     build_residence_study,
 )
+from repro.telemetry import counter_view, registry as _metrics_registry, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.registry import ArtifactResult
@@ -40,13 +40,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observatory.rounds import ObservatoryStudy
     from repro.whatif.sweep import WhatifSweep
 
+#: The session's registry instruments.  Builds and store traffic count
+#: here (label-keyed), render on ``GET /metrics``, and merge across
+#: procpool workers; the legacy ``*_COUNTS`` names below are
+#: compatibility views over these instruments, not separate state.
+_BUILDS = _metrics_registry().counter(
+    "builds_total", "layer builds (process-cache misses), per layer", ("layer",)
+)
+_STORE_OPS = _metrics_registry().counter(
+    "store_ops_total", "session store traffic, per event:layer", ("op",)
+)
+_BUILD_SECONDS = _metrics_registry().histogram(
+    "build_seconds", "wall time of each layer build", ("layer",)
+)
+_WRITE_BEHIND_FAILURES = _metrics_registry().counter(
+    "store_write_behind_failures_total",
+    "write-behind persists that failed (the build still served)",
+)
+
 #: How many times each layer has actually been *built* (cache misses).
 #: Tests assert on deltas of this counter to prove memoization works.
 #: Overlay (whatif) rebuilds count under ``whatif:<layer>`` keys, so a
 #: sweep never inflates the baseline layer counters.  A layer loaded
 #: from the on-disk store is *not* a build: it counts in
 #: :data:`STORE_COUNTS` instead.
-BUILD_COUNTS: Counter = Counter()
+# replint: allow[REP010] compatibility view over the builds_total registry instrument
+BUILD_COUNTS = counter_view(_BUILDS)
 
 #: Disk-tier traffic, when a store is active (``repro.store``):
 #: ``hit:<layer>`` / ``miss:<layer>`` on reads, ``write:<layer>`` on
@@ -54,7 +73,8 @@ BUILD_COUNTS: Counter = Counter()
 #: the shared store retry policy, ``error:<layer>`` when a corrupt or
 #: unreadable entry fell back to a rebuild (which then overwrites --
 #: repairs -- the damaged entry).
-STORE_COUNTS: Counter = Counter()
+# replint: allow[REP010] compatibility view over the store_ops_total registry instrument
+STORE_COUNTS = counter_view(_STORE_OPS)
 
 
 def _store_load(layer: str, key: tuple) -> tuple[Any | None, bool]:
@@ -120,6 +140,7 @@ def _store_save(layer: str, key: tuple, value: Any, repair: bool = False) -> Non
         import warnings
 
         STORE_COUNTS[f"error:{layer}"] += 1
+        _WRITE_BEHIND_FAILURES.inc()
         warnings.warn(
             f"store: could not persist the {layer} layer ({exc}); "
             "continuing without write-behind",
@@ -421,6 +442,22 @@ class Study:
             ),
         )
 
+    def _timed_build(self, layer: str, build: Callable[[], Any]) -> Any:
+        """Count and trace one actual layer build (the only build path).
+
+        Every build increments ``builds_total``, runs inside a
+        ``build:<layer>`` span (nesting under whatever artifact or CLI
+        span is open), and lands its wall time in the
+        ``build_seconds`` histogram -- so "where did the smoke go"
+        is answerable per layer without a profiler.
+        """
+        count_key = self._count_key(layer)
+        BUILD_COUNTS[count_key] += 1
+        with span(f"build:{layer}", layer=count_key) as build_span:
+            value = build()
+        _BUILD_SECONDS.observe(build_span.duration_s, layer=count_key)
+        return value
+
     def _resolve_layer(
         self, layer: str, key: tuple, build: Callable[[], Any], message: str
     ) -> Any:
@@ -437,8 +474,7 @@ class Study:
             value, damaged = _store_load(layer, key)
             if value is None:
                 self._say(message)
-                BUILD_COUNTS[self._count_key(layer)] += 1
-                value = build()
+                value = self._timed_build(layer, build)
                 _store_save(layer, key, value, repair=damaged)
             cache[key] = value
         return cache[key]
@@ -485,8 +521,7 @@ class Study:
                 # (their true seed/scale are unknown) -- and for the same
                 # reason they must bypass the store.
                 self._say(message)
-                BUILD_COUNTS[self._count_key("cloud")] += 1
-                self._cloud = build()
+                self._cloud = self._timed_build("cloud", build)
             else:
                 self._cloud = self._resolve_layer(
                     "cloud", self._census_key(), build, message
@@ -503,8 +538,7 @@ class Study:
             message = "# analyzing IPv4-only dependencies of partial sites ..."
             if self._prebuilt:
                 self._say(message)
-                BUILD_COUNTS[self._count_key("dependencies")] += 1
-                self._deps = build()
+                self._deps = self._timed_build("dependencies", build)
             else:
                 self._deps = self._resolve_layer(
                     "dependencies", self._census_key(), build, message
@@ -531,8 +565,7 @@ class Study:
             )
             if self._prebuilt:
                 self._say(message)
-                BUILD_COUNTS[self._count_key("observatory")] += 1
-                self._observatory = build()
+                self._observatory = self._timed_build("observatory", build)
             else:
                 self._observatory = self._resolve_layer(
                     "observatory", self._observatory_key(), build, message

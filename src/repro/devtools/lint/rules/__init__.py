@@ -1,4 +1,4 @@
-"""The replint rule set: REP001..REP009, one invariant per rule.
+"""The replint rule set: REP001..REP010, one invariant per rule.
 
 ``default_rules()`` returns fresh instances (rules accumulate per-run
 state for their cross-module passes, so instances must not be shared
@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.devtools.lint.engine import Rule
 from repro.devtools.lint.rules.caches import CacheRegistryRule
+from repro.devtools.lint.rules.counts import CounterRegistryRule
 from repro.devtools.lint.rules.determinism import NondeterminismRule
 from repro.devtools.lint.rules.errors import SwallowedErrorRule
 from repro.devtools.lint.rules.hotpaths import HotPathVectorizationRule
@@ -30,6 +31,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SwallowedErrorRule,
     SetOrderingRule,
     AdHocRetryRule,
+    CounterRegistryRule,
 )
 
 

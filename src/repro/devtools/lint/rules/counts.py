@@ -1,0 +1,66 @@
+"""REP010: counters live in the telemetry registry, not side dicts.
+
+Before :mod:`repro.telemetry`, every subsystem grew its own module-level
+``*_COUNTS`` dict (``BUILD_COUNTS``, ``RETRY_COUNTS``, ...).  Those
+dicts were invisible to ``GET /metrics``, died with procpool workers
+instead of merging into the parent, and each invented its own reset
+hook.  The registry fixes all three, so a *new* module-level
+``*_COUNTS`` binding outside ``repro/telemetry/`` is a regression: the
+counter must be a registry instrument
+(``telemetry.registry().counter(...)``), optionally re-exported under a
+legacy name through :func:`repro.telemetry.counter_view` -- and such a
+compatibility view carries an explicit waiver naming the instrument it
+fronts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: ``BUILD_COUNTS``, ``_STORE_COUNTS``, ``RETRY_COUNTS`` -- any
+#: module-level constant-style name ending in ``_COUNTS``.
+_COUNTS_NAME_RE = re.compile(r"^_?[A-Z][A-Za-z0-9_]*_COUNTS$")
+
+
+class CounterRegistryRule(Rule):
+    id = "REP010"
+    title = "counters are telemetry-registry instruments, not module dicts"
+    hint = (
+        "create the counter with repro.telemetry.registry().counter(...) "
+        "so it renders on /metrics, merges across procpool workers, and "
+        "resets with the registry; if a legacy *_COUNTS name must survive, "
+        "front the instrument with telemetry.counter_view and waive this "
+        "rule naming the instrument the view wraps"
+    )
+
+    def want(self, ctx: ModuleContext) -> bool:
+        # The telemetry package itself defines the registry and the
+        # CounterView compatibility shim; everywhere else is in scope.
+        relpath = ctx.relpath
+        return not (
+            relpath.startswith("telemetry/") or "/telemetry/" in relpath
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for node in ctx.tree.body:  # module level only: locals are fine
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _COUNTS_NAME_RE.match(target.id):
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"module-level counter {target.id} bypasses the "
+                        "telemetry registry; it will not render on /metrics, "
+                        "will not merge out of pool workers, and needs its "
+                        "own reset hook",
+                    )

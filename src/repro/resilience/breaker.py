@@ -24,6 +24,16 @@ import threading
 import time
 from typing import Callable
 
+from repro.telemetry import registry as _metrics_registry
+
+#: Every actual state change, labeled by the state entered -- shared by
+#: all breakers in the process (the serving tier keys breakers by
+#: artifact name, but fleet dashboards care about the aggregate).
+_TRANSITIONS = _metrics_registry().counter(
+    "breaker_transitions_total", "circuit-breaker state changes, per new state",
+    ("to",),
+)
+
 
 class CircuitBreaker:
     """Trip after consecutive failures; recover via a timed half-open probe."""
@@ -53,13 +63,18 @@ class CircuitBreaker:
         with self._lock:
             return self._state_locked()
 
+    def _set_state_locked(self, state: str) -> None:
+        if state != self._state:
+            _TRANSITIONS.inc(to=state)
+        self._state = state
+
     def _state_locked(self) -> str:
         if (
             self._state == "open"
             and self._opened_at is not None
             and self._clock() - self._opened_at >= self.reset_after_s
         ):
-            self._state = "half-open"
+            self._set_state_locked("half-open")
             self._probing = False
         return self._state
 
@@ -81,7 +96,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._lock:
             self._failures = 0
-            self._state = "closed"
+            self._set_state_locked("closed")
             self._opened_at = None
             self._probing = False
 
@@ -90,7 +105,7 @@ class CircuitBreaker:
             self._failures += 1
             state = self._state_locked()
             if state == "half-open" or self._failures >= self.failure_threshold:
-                self._state = "open"
+                self._set_state_locked("open")
                 self._opened_at = self._clock()
                 self._probing = False
 

@@ -19,10 +19,10 @@ worst-case stall of a call is computable from its policy alone.
 from __future__ import annotations
 
 import time
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Tuple, Type
 
+from repro.telemetry import counter_view, registry as _metrics_registry
 from repro.util.rng import derive_seed
 
 #: Retry telemetry, keyed ``<event>:<label>`` -- ``error`` every failed
@@ -30,8 +30,14 @@ from repro.util.rng import derive_seed
 #: retry eventually succeeded, ``gaveup`` when attempts or the timeout
 #: budget ran out, ``deadline`` when the budget (not the attempt count)
 #: stopped the loop.  ``/healthz`` mirrors this into its resilience
-#: section.
-RETRY_COUNTS: Counter = Counter()
+#: section; ``GET /metrics`` renders the underlying ``retries_total``
+#: registry instrument this name is a view of.
+# replint: allow[REP010] compatibility view over the retries_total registry instrument
+RETRY_COUNTS = counter_view(
+    _metrics_registry().counter(
+        "retries_total", "retry-loop events, per event:label", ("event",)
+    )
+)
 
 _SEED_SPAN = float(1 << 64)
 

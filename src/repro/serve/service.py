@@ -42,6 +42,12 @@ from repro.api import Study, StudyConfig, jsonify, registry
 from repro.datasets.scenarios import SCALE_PRESETS
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import fault_hook
+from repro.telemetry import (
+    recent_spans,
+    registry as _metrics_registry,
+    span,
+    span_tree,
+)
 
 #: Config fields a request may override via query parameters -- the
 #: same set the CLI's ``name@key=value`` overrides accept.
@@ -61,10 +67,68 @@ MIN_GZIP_BYTES = 256
 #: The public endpoint table (rendered into listings and 404 bodies).
 ENDPOINTS = (
     "/healthz",
+    "/metrics",
     "/v1/artifacts",
     "/v1/artifact/<name>",
     "/v1/contrast/<country>",
+    "/v1/trace",
 )
+
+#: Serving-tier instruments.  ``serve_requests_total`` is the name the
+#: CI serve-smoke greps out of ``/metrics``; the hot-cache and 304
+#: counters are the acceptance signals that caching actually engaged
+#: under load.
+_REQUESTS = _metrics_registry().counter(
+    "serve_requests_total", "HTTP requests handled, per endpoint", ("endpoint",)
+)
+_RESPONSES = _metrics_registry().counter(
+    "serve_responses_total", "HTTP responses sent, per status", ("status",)
+)
+_REQUEST_SECONDS = _metrics_registry().histogram(
+    "serve_request_seconds", "request resolution latency, per endpoint",
+    ("endpoint",),
+)
+_HOT_HITS = _metrics_registry().counter(
+    "serve_hot_cache_hits_total", "requests answered from the hot cache"
+)
+_HOT_MISSES = _metrics_registry().counter(
+    "serve_hot_cache_misses_total", "hot-cache probes that fell through"
+)
+_HOT_ENTRIES = _metrics_registry().gauge(
+    "serve_hot_cache_entries", "encoded responses in the hot cache"
+)
+_NOT_MODIFIED = _metrics_registry().counter(
+    "serve_not_modified_total", "requests revalidated with 304 Not Modified"
+)
+_DEGRADED = _metrics_registry().counter(
+    "serve_degraded_total", "degraded serves, per mode (stale | shed)", ("mode",)
+)
+_WRITE_BEHIND_FAILURES = _metrics_registry().counter(
+    "store_write_behind_failures_total",
+    "write-behind persists that failed (the build still served)",
+)
+
+
+def endpoint_label(path: str) -> str:
+    """Collapse a request path onto its endpoint family (metric label).
+
+    Raw paths would explode the ``serve_requests_total`` label space
+    (every artifact name, every typo'd URL its own series); the label
+    is the route, not the route's argument.
+    """
+    if path in ("/healthz", "/health"):
+        return "/healthz"
+    if path == "/metrics":
+        return "/metrics"
+    if path in ("/v1/artifacts", "/v1/artifacts/"):
+        return "/v1/artifacts"
+    if path.startswith("/v1/artifact/"):
+        return "/v1/artifact/<name>"
+    if path.startswith("/v1/contrast/"):
+        return "/v1/contrast/<country>"
+    if path in ("/v1/trace", "/v1/trace/"):
+        return "/v1/trace"
+    return "<other>"
 
 
 def _server_version() -> str:
@@ -135,12 +199,17 @@ class _Encoded:
     ``stale`` marks a last-known-good document served because the
     builder is degraded: it carries a ``Warning`` header, is never hot-
     cached, and never ETag-revalidates (a later fresh render must win).
+    ``cache=False`` marks an inherently uncacheable body (``/metrics``,
+    ``/v1/trace``: every scrape is a new observation) -- no ETag, no
+    revalidation.
     """
 
     body: bytes
     gzipped: bytes | None
     etag: str
     stale: bool = False
+    content_type: str = "application/json; charset=utf-8"
+    cache: bool = True
 
     @classmethod
     def from_document(cls, document: dict) -> "_Encoded":
@@ -152,6 +221,23 @@ class _Encoded:
             else None
         )
         return cls(body=body, gzipped=gzipped, etag=etag)
+
+    @classmethod
+    def from_text(cls, text: str, content_type: str) -> "_Encoded":
+        """A non-JSON, never-cached body (the Prometheus exposition)."""
+        body = text.encode("utf-8")
+        gzipped = (
+            gzip.compress(body, compresslevel=6, mtime=0)
+            if len(body) >= MIN_GZIP_BYTES
+            else None
+        )
+        return cls(
+            body=body,
+            gzipped=gzipped,
+            etag='"uncached"',
+            content_type=content_type,
+            cache=False,
+        )
 
 
 def etag_matches(if_none_match: str | None, etag: str) -> bool:
@@ -249,8 +335,40 @@ class ArtifactService:
         ``hot_only=True`` is the event loop's fast path: it returns
         ``None`` instead of computing, so the caller can retry in an
         executor thread without ever blocking the loop on a build.
+
+        Every completed request runs inside a ``serve:request`` span
+        and lands in the request counters/histogram; a ``hot_only``
+        probe that misses discards its span (the executor retry records
+        the real one), so a request is never double-counted.
         """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
+        try:
+            split = urlsplit(target)
+            path, query = unquote(split.path), split.query
+        except ValueError:
+            path, query = target, ""
+        endpoint = endpoint_label(path)
+        with span("serve:request", method=method, endpoint=endpoint) as req_span:
+            response = self._handle(method, path, query, headers, hot_only)
+            if response is None:
+                req_span.discard()
+                return None  # hot_only miss: caller re-runs off-loop
+            req_span.labels["status"] = str(response.status)
+        _REQUESTS.inc(endpoint=endpoint)
+        _RESPONSES.inc(status=str(response.status))
+        _REQUEST_SECONDS.observe(req_span.duration_s, endpoint=endpoint)
+        if response.status == 304:
+            _NOT_MODIFIED.inc()
+        return response
+
+    def _handle(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        headers: dict[str, str],
+        hot_only: bool,
+    ) -> Response | None:
         try:
             if method not in ("GET", "HEAD"):
                 raise ServiceError(
@@ -260,9 +378,7 @@ class ArtifactService:
                         "allow": ["GET", "HEAD"],
                     },
                 )
-            split = urlsplit(target)
-            path = unquote(split.path)
-            encoded = self._resolve(path, split.query, hot_only)
+            encoded = self._resolve(path, query, hot_only)
             if encoded is None:
                 return None  # hot_only miss: caller re-runs off-loop
         except ServiceError as error:
@@ -279,11 +395,18 @@ class ArtifactService:
             )
             return self._respond(500, encoded, method, headers, cache=False)
         self.requests += 1
-        return self._respond(200, encoded, method, headers, cache=not encoded.stale)
+        return self._respond(
+            200, encoded, method, headers,
+            cache=encoded.cache and not encoded.stale,
+        )
 
     def _resolve(self, path: str, query: str, hot_only: bool) -> _Encoded | None:
         if path in ("/healthz", "/health"):
             return _Encoded.from_document(self.health())
+        if path == "/metrics":
+            return self._metrics_endpoint(query)
+        if path in ("/v1/trace", "/v1/trace/"):
+            return self._trace_endpoint(query)
         if path in ("/v1/artifacts", "/v1/artifacts/"):
             return self._listing()
         if path.startswith("/v1/artifact/"):
@@ -307,7 +430,7 @@ class ArtifactService:
         extra: tuple[tuple[str, str], ...] = (),
     ) -> Response:
         out: list[tuple[str, str]] = [
-            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Type", encoded.content_type),
             ("Server", _server_version()),
             *extra,
         ]
@@ -384,8 +507,63 @@ class ArtifactService:
                     ],
                 },
             },
+            "telemetry": {
+                "degraded_total": {
+                    key[0]: int(value)
+                    for key, value in _DEGRADED.sample_items()
+                },
+                "write_behind_failures": int(_WRITE_BEHIND_FAILURES.value()),
+                "metrics": "/metrics",
+                "trace": "/v1/trace",
+            },
             "config": jsonify(dataclasses.asdict(self.config)),
         }
+
+    def _metrics_endpoint(self, query: str) -> _Encoded:
+        """``GET /metrics``: the whole registry, Prometheus text format."""
+        if query:
+            raise ServiceError(400, {"error": "/metrics takes no parameters"})
+        with self._hot_lock:
+            _HOT_ENTRIES.set(len(self._hot))
+        if self.store is not None:
+            try:
+                self.store.refresh_gauges()
+            # A scrape must not fail (or warn on every poll) over a
+            # damaged manifest; store verify/gc is the repair surface
+            # and the stale gauge values are themselves the signal.
+            # replint: allow[REP007] scrape path: gauges simply stay at their last values
+            except Exception:  # pragma: no cover - defensive
+                pass
+        return _Encoded.from_text(
+            _metrics_registry().render_prometheus(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _trace_endpoint(self, query: str) -> _Encoded:
+        """``GET /v1/trace?last=N``: recent request/build span trees."""
+        last: int | None = None
+        for param, raw in parse_qsl(query, keep_blank_values=True):
+            if param != "last":
+                raise ServiceError(
+                    400,
+                    {"error": f"unknown parameter {param!r}", "known": ["last"]},
+                )
+            try:
+                last = int(raw)
+            except ValueError:
+                raise ServiceError(
+                    400,
+                    {"error": f"parameter 'last' needs an integer, got {raw!r}"},
+                ) from None
+            if last < 0:
+                raise ServiceError(400, {"error": "'last' must be >= 0"})
+        spans = recent_spans(last)
+        document = {
+            "last": last,
+            "count": len(spans),
+            "spans": [span_tree(node) for node in spans],
+        }
+        return dataclasses.replace(_Encoded.from_document(document), cache=False)
 
     def _listing(self) -> _Encoded:
         key = ("listing",)
@@ -623,6 +801,7 @@ class ArtifactService:
                 # serves -- but the degradation must leave a trace.
                 import warnings
 
+                _WRITE_BEHIND_FAILURES.inc()
                 warnings.warn(
                     f"serve: could not persist artifact {name!r} ({exc}); "
                     "serving the render without write-behind",
@@ -651,6 +830,7 @@ class ArtifactService:
         if stale is not None:
             return self._stale_encoded(stale, reason)
         self.resilience_counts["shed"] += 1
+        _DEGRADED.inc(mode="shed")
         raise ServiceError(
             503,
             {
@@ -662,6 +842,7 @@ class ArtifactService:
 
     def _stale_encoded(self, document: dict, reason: str) -> _Encoded:
         self.resilience_counts["stale"] += 1
+        _DEGRADED.inc(mode="stale")
         marked = {**document, "degraded": {"stale": True, "reason": reason}}
         return dataclasses.replace(_Encoded.from_document(marked), stale=True)
 
@@ -694,7 +875,11 @@ class ArtifactService:
             encoded = self._hot.get(key)
             if encoded is not None:
                 self._hot.move_to_end(key)
-            return encoded
+        if encoded is not None:
+            _HOT_HITS.inc()
+        else:
+            _HOT_MISSES.inc()
+        return encoded
 
     def _hot_put(self, key: tuple, encoded: _Encoded) -> _Encoded:
         with self._hot_lock:
@@ -702,6 +887,7 @@ class ArtifactService:
             self._hot.move_to_end(key)
             while len(self._hot) > self.hot_limit:
                 self._hot.popitem(last=False)
+            _HOT_ENTRIES.set(len(self._hot))
         return encoded
 
     # -- the warmer ----------------------------------------------------------

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 from repro.resilience.faults import corrupt_hook, fault_hook
 from repro.resilience.retry import STORE_POLICY, call_with_retry
 from repro.store.serialize import dump_value, load_value
+from repro.telemetry import registry as _metrics_registry, span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Study, StudyConfig
@@ -62,6 +63,22 @@ DEFAULT_SNAPSHOT_LAYERS = (
     "cloud",
     "dependencies",
     "observatory",
+)
+
+
+#: Warehouse IO latency (spans carry the per-entry detail; the
+#: histogram carries the aggregate distribution per read/write).
+_STORE_OP_SECONDS = _metrics_registry().histogram(
+    "store_op_seconds", "warehouse operation latency, per op", ("op",)
+)
+#: Index-level gauges, refreshed on every manifest write (and by
+#: :meth:`ArtifactStore.refresh_gauges`) -- what ``store ls`` and the
+#: exposition report without rescanning objects/.
+_STORE_ENTRIES = _metrics_registry().gauge(
+    "store_entries", "entries indexed in the store manifest"
+)
+_STORE_BYTES = _metrics_registry().gauge(
+    "store_bytes", "payload bytes indexed in the store manifest"
 )
 
 
@@ -351,16 +368,19 @@ class ArtifactStore:
         ``overwrite=True`` forces re-encoding and replacement of an
         existing entry -- the session's repair path after a failed load.
         """
-        if not overwrite:
-            existing = self._existing_entry("layer", layer, key)
-            if existing is not None:
-                return existing
-        if layer == "traffic":
-            for dataset in getattr(value, "datasets", {}).values():
-                dataset.frame()
-        return self._write_entry(
-            "layer", layer, key, dump_value(value), overwrite=overwrite
-        )
+        with span("store:write", kind="layer", target=layer) as op_span:
+            if not overwrite:
+                existing = self._existing_entry("layer", layer, key)
+                if existing is not None:
+                    return existing
+            if layer == "traffic":
+                for dataset in getattr(value, "datasets", {}).values():
+                    dataset.frame()
+            entry = self._write_entry(
+                "layer", layer, key, dump_value(value), overwrite=overwrite
+            )
+        _STORE_OP_SECONDS.observe(op_span.duration_s, op="write")
+        return entry
 
     def load_layer(self, layer: str, key: tuple) -> Any | None:
         """Load one layer, or ``None`` when the store has no such entry.
@@ -370,8 +390,11 @@ class ArtifactStore:
         payload file cannot be read at all (possibly transient -- the
         session's read-through retries it).
         """
-        files = self._read_entry("layer", layer, key)
-        return None if files is None else load_value(files)
+        with span("store:read", kind="layer", target=layer) as op_span:
+            files = self._read_entry("layer", layer, key)
+            value = None if files is None else load_value(files)
+        _STORE_OP_SECONDS.observe(op_span.duration_s, op="read")
+        return value
 
     def has_layer(self, layer: str, key: tuple) -> bool:
         digest = digest_key("layer", layer, key)
@@ -383,24 +406,32 @@ class ArtifactStore:
         self, name: str, key: tuple, document: dict, overwrite: bool = False
     ) -> StoreEntry:
         """Persist one rendered artifact document as JSON."""
-        if not overwrite:
-            existing = self._existing_entry("artifact", name, key)
-            if existing is not None:
-                return existing
-        blob = json.dumps(document, separators=(",", ":"), sort_keys=False)
-        return self._write_entry(
-            "artifact",
-            name,
-            key,
-            {ARTIFACT_FILE: blob.encode("utf-8")},
-            overwrite=overwrite,
-        )
+        with span("store:write", kind="artifact", target=name) as op_span:
+            entry = None
+            if not overwrite:
+                entry = self._existing_entry("artifact", name, key)
+            if entry is None:
+                blob = json.dumps(document, separators=(",", ":"), sort_keys=False)
+                entry = self._write_entry(
+                    "artifact",
+                    name,
+                    key,
+                    {ARTIFACT_FILE: blob.encode("utf-8")},
+                    overwrite=overwrite,
+                )
+        _STORE_OP_SECONDS.observe(op_span.duration_s, op="write")
+        return entry
 
     def load_artifact(self, name: str, key: tuple) -> dict | None:
-        files = self._read_entry("artifact", name, key)
-        if files is None:
-            return None
-        return json.loads(files[ARTIFACT_FILE].decode("utf-8"))
+        with span("store:read", kind="artifact", target=name) as op_span:
+            files = self._read_entry("artifact", name, key)
+            document = (
+                None
+                if files is None
+                else json.loads(files[ARTIFACT_FILE].decode("utf-8"))
+            )
+        _STORE_OP_SECONDS.observe(op_span.duration_s, op="read")
+        return document
 
     # -- the manifest index -------------------------------------------------
 
@@ -426,6 +457,23 @@ class ArtifactStore:
         tmp = self.manifest_path.with_suffix(f".tmp-{os.getpid()}")
         tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, self.manifest_path)
+        self._set_gauges(manifest.get("entries", {}))
+
+    @staticmethod
+    def _set_gauges(indexed: dict) -> None:
+        _STORE_ENTRIES.set(len(indexed))
+        _STORE_BYTES.set(sum(info.get("bytes", 0) for info in indexed.values()))
+
+    def refresh_gauges(self) -> tuple[int, int]:
+        """Point the store gauges at this store's index; returns the values.
+
+        The manifest writer keeps the gauges current for the writing
+        process; a read-only process (``store ls``, a cold server)
+        calls this to adopt the on-disk index into its own exposition.
+        """
+        indexed = self.manifest().get("entries", {})
+        self._set_gauges(indexed)
+        return len(indexed), sum(info.get("bytes", 0) for info in indexed.values())
 
     def _index_entry(self, entry: StoreEntry) -> None:
         manifest = self.manifest()

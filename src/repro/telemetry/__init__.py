@@ -1,0 +1,56 @@
+"""repro.telemetry: the observability plane -- metrics and spans.
+
+One process-wide :class:`MetricsRegistry` of typed, label-keyed
+instruments (:mod:`repro.telemetry.metrics`) and a monotonic-clock
+span tracer (:mod:`repro.telemetry.trace`).  Every counter in the repo
+lives here (replint REP010 forbids new module-level ``*_COUNTS`` dicts
+anywhere else); the legacy names (``session.BUILD_COUNTS``,
+``retry.RETRY_COUNTS``, ...) survive as :class:`CounterView`
+compatibility views over registry instruments.
+
+Export surfaces: ``GET /metrics`` (Prometheus text exposition) and
+``GET /v1/trace?last=N`` on the serve tier, ``--telemetry-json PATH``
+on the CLI, and ``python -m repro trace`` for chrome://tracing.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    CounterView,
+    Instrument,
+    MetricCounter,
+    MetricGauge,
+    MetricHistogram,
+    MetricsRegistry,
+    counter_view,
+    registry,
+)
+from repro.telemetry.trace import (
+    Span,
+    chrome_trace,
+    current_span,
+    recent_spans,
+    reset_trace,
+    span,
+    span_tree,
+    telemetry_document,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "CounterView",
+    "Instrument",
+    "MetricCounter",
+    "MetricGauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "counter_view",
+    "registry",
+    "Span",
+    "chrome_trace",
+    "current_span",
+    "recent_spans",
+    "reset_trace",
+    "span",
+    "span_tree",
+    "telemetry_document",
+]

@@ -37,6 +37,19 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.telemetry import registry as _metrics_registry
+
+_POOL_FALLBACKS = _metrics_registry().counter(
+    "pool_fallbacks_total",
+    "fan-outs that degraded to the sequential path, per context",
+    ("context",),
+)
+_POOL_RESUBMISSIONS = _metrics_registry().counter(
+    "pool_resubmitted_shards_total",
+    "shards lost to a mid-map pool crash and re-run in the parent, per context",
+    ("context",),
+)
+
 #: OSError errnos that mean "this environment cannot run a process pool"
 #: (fork/semaphore denied or resources exhausted) rather than a bug in
 #: the parallelized code itself.
@@ -77,6 +90,7 @@ def warn_pool_fallback(context: str, reason: BaseException | str) -> None:
     first = not _FELL_BACK
     if context not in _FELL_BACK:
         _FELL_BACK.append(context)
+    _POOL_FALLBACKS.inc(context=context)
     if not first:
         return
     warnings.warn(
@@ -105,6 +119,7 @@ def warn_shard_resubmission(context: str, lost: int) -> None:
     """Record (and once per process, warn about) a mid-map crash recovery."""
     first = not _RESUBMITTED
     _RESUBMITTED.append((context, lost))
+    _POOL_RESUBMISSIONS.inc(lost, context=context)
     if not first:
         return
     warnings.warn(
@@ -141,6 +156,22 @@ def resolve_worker_count(parallel: bool | int | None, num_tasks: int) -> int:
     else:
         wanted = int(parallel)
     return max(1, min(wanted, num_tasks))
+
+
+def _metered_call(fn: Callable[[Any], Any], task: Any) -> tuple[Any, dict]:
+    """Run one shard in a worker, shipping its metric deltas alongside.
+
+    The worker's registry is reset first: a forked child inherits every
+    sample the parent had at fork time (and a reused worker still holds
+    the previous task's already-shipped delta), so what survives the
+    reset and the call is exactly this task's contribution.  The parent
+    merges the snapshot out of the map result -- counters that lived
+    only in worker processes would otherwise vanish with them.
+    """
+    worker_registry = _metrics_registry()
+    worker_registry.reset()
+    result = fn(task)
+    return result, worker_registry.snapshot()
 
 
 def map_in_pool(
@@ -198,7 +229,7 @@ def map_in_pool(
             futures: list[Any] = []
             for task in tasks:
                 try:
-                    futures.append(pool.submit(fn, task))
+                    futures.append(pool.submit(_metered_call, fn, task))
                 except BrokenProcessPool:
                     # The pool died while we were still feeding it; the
                     # unsubmitted tail is lost the same way a crashed
@@ -211,7 +242,9 @@ def map_in_pool(
                         raise BrokenProcessPool(
                             f"shard {index} was never submitted (pool broke)"
                         )
-                    results[index] = future.result()
+                    shard_result, shipped = future.result()
+                    _metrics_registry().merge(shipped)
+                    results[index] = shard_result
                 except BrokenProcessPool:
                     lost.append(index)
     except pickle.PicklingError as exc:

@@ -19,6 +19,7 @@ AGGREGATORS = [
     "repro.store",
     "repro.serve",
     "repro.resilience",
+    "repro.telemetry",
 ]
 
 

@@ -1,0 +1,13 @@
+"""REP010 flag fixture: module-level ``*_COUNTS`` dicts off the registry."""
+
+from collections import Counter
+
+BUILD_COUNTS = Counter()
+
+PROBE_COUNTS: Counter = Counter()
+
+_ERROR_COUNTS = {"parse": 0, "timeout": 0}
+
+
+def record(kind):
+    BUILD_COUNTS[kind] += 1

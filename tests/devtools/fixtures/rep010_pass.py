@@ -1,0 +1,17 @@
+"""REP010 pass fixture: registry instruments, views waived, locals free."""
+
+from repro.telemetry import counter_view, registry
+
+_PROBES = registry().counter("probes_total", "probes issued, per kind", ("kind",))
+
+# replint: allow[REP010] compatibility view over the probes_total registry instrument
+PROBE_COUNTS = counter_view(_PROBES)
+
+
+def summarize(events):
+    # Function-local tallies never leak across runs; only module-level
+    # bindings must live in the registry.
+    local_counts = {}
+    for event in events:
+        local_counts[event] = local_counts.get(event, 0) + 1
+    return local_counts

@@ -27,6 +27,7 @@ FLAG_CASES = [
     ("REP007", "rep007_flag", 3),
     ("REP008", "rep008_flag.py", 3),
     ("REP009", "rep009_flag.py", 4),
+    ("REP010", "rep010_flag.py", 3),
 ]
 
 PASS_CASES = [
@@ -39,6 +40,7 @@ PASS_CASES = [
     ("REP007", "rep007_pass"),
     ("REP008", "rep008_pass.py"),
     ("REP009", "rep009_pass"),
+    ("REP010", "rep010_pass.py"),
 ]
 
 

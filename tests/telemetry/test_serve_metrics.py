@@ -1,0 +1,172 @@
+"""The observability serving surface: /metrics, /v1/trace, healthz detail."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import StudyConfig
+from repro.serve import ArtifactService
+from repro.serve.service import endpoint_label
+from repro.store import set_store
+from repro.telemetry import registry, reset_trace
+
+CONFIG = StudyConfig(days=4, sites=110, probe_targets=50, parallel=False)
+
+GOLDEN = Path(__file__).parents[1] / "api" / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store():
+    set_store(None)
+    yield
+    set_store(None)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return ArtifactService(CONFIG, store=None)
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_text(self, service):
+        service.handle("GET", "/healthz")  # guarantee at least one request
+        response = service.handle("GET", "/metrics")
+        assert response.status == 200
+        assert response.header("Content-Type").startswith(
+            "text/plain; version=0.0.4"
+        )
+        body = response.body.decode("utf-8")
+        for line in body.splitlines():
+            assert line.startswith("#") or " " in line  # name{labels} value
+        assert 'serve_requests_total{endpoint="/healthz"}' in body
+
+    def test_hot_hits_and_304s_show_up_as_counters(self, service):
+        hits = registry().get("serve_hot_cache_hits_total")
+        revalidated = registry().get("serve_not_modified_total")
+        first = service.handle("GET", "/v1/artifact/obs_availability")
+        assert first.status == 200
+        before_hits, before_304 = hits.value(), revalidated.value()
+        again = service.handle("GET", "/v1/artifact/obs_availability")
+        assert again.status == 200
+        assert hits.value() > before_hits
+        etag = first.header("ETag")
+        not_modified = service.handle(
+            "GET", "/v1/artifact/obs_availability", {"If-None-Match": etag}
+        )
+        assert not_modified.status == 304
+        assert revalidated.value() == before_304 + 1
+        scrape = service.handle("GET", "/metrics").body.decode("utf-8")
+        assert "serve_hot_cache_hits_total" in scrape
+        assert "serve_not_modified_total" in scrape
+
+    def test_metrics_takes_no_parameters(self, service):
+        assert service.handle("GET", "/metrics?format=json").status == 400
+
+    def test_request_latency_histogram_observes(self, service):
+        histogram = registry().get("serve_request_seconds")
+        before = sum(s["count"] for _, s in histogram.sample_items())
+        service.handle("GET", "/healthz")
+        after = sum(s["count"] for _, s in histogram.sample_items())
+        assert after == before + 1
+
+    def test_healthz_carries_the_telemetry_section(self, service):
+        document = service.handle("GET", "/healthz").json()
+        telemetry = document["telemetry"]
+        assert telemetry["metrics"] == "/metrics"
+        assert telemetry["trace"] == "/v1/trace"
+        assert isinstance(telemetry["degraded_total"], dict)
+        assert isinstance(telemetry["write_behind_failures"], int)
+
+
+class TestEndpointLabels:
+    def test_routes_collapse_to_families(self):
+        assert endpoint_label("/v1/artifact/table1") == "/v1/artifact/<name>"
+        assert endpoint_label("/v1/artifact/zzz") == "/v1/artifact/<name>"
+        assert endpoint_label("/v1/contrast/DE") == "/v1/contrast/<country>"
+        assert endpoint_label("/metrics") == "/metrics"
+        assert endpoint_label("/v2/nope") == "<other>"
+
+    def test_label_space_stays_bounded(self, service):
+        for name in ("table1", "table2", "fig5"):
+            service.handle("GET", f"/v1/artifact/{name}")
+        requests = registry().get("serve_requests_total")
+        families = {key[0] for key, _ in requests.sample_items()}
+        assert "/v1/artifact/<name>" in families
+        assert not any(family.startswith("/v1/artifact/t") for family in families)
+
+
+class TestTraceEndpoint:
+    def test_trace_document_shape(self, service):
+        reset_trace()
+        assert service.handle("GET", "/v1/artifact/table1").status == 200
+        response = service.handle("GET", "/v1/trace?last=5")
+        assert response.status == 200
+        document = response.json()
+        assert document["last"] == 5
+        assert document["count"] == len(document["spans"]) >= 1
+        request_span = document["spans"][0]
+        assert request_span["name"] == "serve:request"
+        assert request_span["labels"]["endpoint"] == "/v1/artifact/<name>"
+        assert request_span["labels"]["status"] == "200"
+
+    def test_trace_rejects_bad_parameters(self, service):
+        assert service.handle("GET", "/v1/trace?last=soon").status == 400
+        assert service.handle("GET", "/v1/trace?last=-1").status == 400
+        assert service.handle("GET", "/v1/trace?page=2").status == 400
+
+    def test_trace_responses_are_never_cached(self, service):
+        service.handle("GET", "/healthz")
+        response = service.handle("GET", "/v1/trace?last=1")
+        assert response.status == 200
+        assert response.header("ETag") is None
+        assert response.header("Cache-Control") is None
+
+    def test_wire_schema_matches_golden(self, service):
+        """The /v1/trace envelope + span-node schema, blessed.
+
+        Durations vary run to run, so the golden pins JSON *types* and
+        key order, not values -- the same reduction the artifact
+        schemas use.
+        """
+        reset_trace()
+        assert service.handle("GET", "/v1/artifact/table1").status == 200
+        document = service.handle("GET", "/v1/trace?last=3").json()
+
+        def node_schema(node: dict) -> dict:
+            return {
+                "keys": list(node),
+                "name": "str",
+                "duration_ms": "float",
+                "self_ms": "float",
+                "labels": "object[str]",
+                "children": [node_schema(child) for child in node["children"]],
+            }
+
+        schema = {
+            "keys": list(document),
+            "last": "int|null",
+            "count": "int",
+            "span_node": node_schema(document["spans"][0]),
+        }
+        # Depth varies with cache warmth; pin the node shape, not the tree.
+        schema["span_node"]["children"] = "array[span_node]"
+        golden_path = GOLDEN / "trace.json"
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            golden_path.write_text(
+                json.dumps(schema, indent=2, sort_keys=True) + "\n"
+            )
+        assert golden_path.is_file(), (
+            "missing golden trace schema; generate with REPRO_UPDATE_GOLDEN=1"
+        )
+        assert schema == json.loads(golden_path.read_text()), (
+            "the /v1/trace wire format drifted from tests/api/golden/"
+            "trace.json; if intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+        )
+        for node in document["spans"]:
+            assert isinstance(node["duration_ms"], (int, float))
+            assert all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in node["labels"].items()
+            )

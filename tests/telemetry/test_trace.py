@@ -1,0 +1,142 @@
+"""Span-tree semantics: nesting, timing attribution, exports."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    chrome_trace,
+    current_span,
+    recent_spans,
+    reset_trace,
+    span,
+    span_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace():
+    reset_trace()
+    yield
+    reset_trace()
+
+
+class TestNesting:
+    def test_children_attach_to_the_enclosing_span(self):
+        with span("outer") as outer:
+            with span("inner:a"):
+                pass
+            with span("inner:b"):
+                pass
+        assert [child.name for child in outer.children] == ["inner:a", "inner:b"]
+        (root,) = recent_spans()
+        assert root is outer
+
+    def test_current_span_tracks_the_stack(self):
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_stack_pops_even_when_the_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                raise RuntimeError("boom")
+        assert current_span() is None
+        (root,) = recent_spans()
+        assert root.duration_s >= 0
+
+    def test_self_time_excludes_children(self):
+        with span("outer") as outer:
+            with span("inner"):
+                time.sleep(0.01)
+        assert outer.self_s == pytest.approx(
+            outer.duration_s - outer.children[0].duration_s
+        )
+
+    def test_labels_are_stringified_onto_the_span(self):
+        with span("build:traffic", layer="traffic", scale=4) as s:
+            pass
+        assert s.labels == {"layer": "traffic", "scale": "4"}
+
+
+class TestDiscard:
+    def test_discarded_root_never_reaches_the_ring(self):
+        with span("probe") as probe:
+            probe.discard()
+        assert recent_spans() == []
+
+    def test_discarded_child_is_dropped_from_the_parent(self):
+        with span("outer") as outer:
+            with span("probe") as probe:
+                probe.discard()
+            with span("kept"):
+                pass
+        assert [child.name for child in outer.children] == ["kept"]
+
+
+class TestRing:
+    def test_recent_spans_returns_oldest_first_with_tail_slice(self):
+        for n in range(5):
+            with span(f"root:{n}"):
+                pass
+        assert [s.name for s in recent_spans()] == [f"root:{n}" for n in range(5)]
+        assert [s.name for s in recent_spans(last=2)] == ["root:3", "root:4"]
+
+    def test_threads_record_independent_roots(self):
+        def work():
+            with span("thread-root"):
+                with span("thread-child"):
+                    pass
+
+        with span("main-root"):
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        names = sorted(s.name for s in recent_spans())
+        assert names == ["main-root", "thread-root"]  # no cross-thread nesting
+
+
+class TestExports:
+    def test_span_tree_shape(self):
+        with span("outer", kind="test"):
+            with span("inner"):
+                pass
+        (root,) = recent_spans()
+        tree = span_tree(root)
+        assert set(tree) == {"name", "duration_ms", "self_ms", "labels", "children"}
+        assert tree["name"] == "outer"
+        assert tree["labels"] == {"kind": "test"}
+        assert tree["duration_ms"] >= tree["self_ms"] >= 0
+        (child,) = tree["children"]
+        assert child["name"] == "inner" and child["children"] == []
+
+    def test_chrome_trace_emits_complete_events_in_relative_us(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        document = chrome_trace(recent_spans())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        outer, inner = events
+        assert outer["ts"] == 0.0  # relative to the earliest span
+        assert inner["ts"] >= outer["ts"]
+        # 0.5 us slack: ts/dur round to 0.1 us each
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 0.5
+
+    def test_chrome_trace_separates_roots_by_tid(self):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        events = chrome_trace(recent_spans())["traceEvents"]
+        assert [e["tid"] for e in events] == [1, 2]

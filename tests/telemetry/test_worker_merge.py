@@ -1,0 +1,87 @@
+"""Worker metric shipping: a pooled map merges to the sequential totals.
+
+``map_in_pool`` wraps every shard in ``_metered_call``, which resets the
+worker's registry (dropping fork-inherited samples) and ships the
+shard's own delta back inside the map result; the parent merges each
+snapshot in task-index order.  The whole point is that counters bumped
+inside worker processes are indistinguishable from counters bumped
+inline -- so the pooled run must leave *bit-identical* samples to the
+sequential one.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import registry
+from repro.util.procpool import map_in_pool, reset_pool_fallback_warnings
+
+#: Unique to this module so parallel/sequential deltas are isolatable.
+COUNTER = "testwork_units_total"
+HISTOGRAM = "testwork_seconds"
+
+
+def _work(task: int) -> int:
+    """One shard: deterministic counter bumps + dyadic observations."""
+    reg = registry()
+    reg.counter(COUNTER, "test work units", ("kind",)).inc(
+        task + 1, kind=f"k{task % 2}"
+    )
+    # Dyadic values (n/8) add exactly, so float sums cannot wobble.
+    reg.histogram(HISTOGRAM, "test work durations").observe((task + 1) / 8)
+    return task * task
+
+
+def _clear_test_instruments() -> None:
+    for name in (COUNTER, HISTOGRAM):
+        instrument = registry().get(name)
+        if instrument is not None:
+            instrument.clear()
+
+
+def _test_samples() -> dict:
+    out = {}
+    for name in (COUNTER, HISTOGRAM):
+        instrument = registry().get(name)
+        out[name] = instrument.sample_items() if instrument is not None else []
+    return out
+
+
+@pytest.fixture(autouse=True)
+def _isolated():
+    reset_pool_fallback_warnings()
+    _clear_test_instruments()
+    yield
+    _clear_test_instruments()
+    reset_pool_fallback_warnings()
+
+
+def test_pooled_metrics_merge_bit_identical_to_sequential():
+    tasks = list(range(6))
+
+    results = map_in_pool(_work, tasks, workers=2, context="telemetry test")
+    if results is None:
+        pytest.skip("this environment cannot run a process pool")
+    assert results == [task * task for task in tasks]
+    pooled = _test_samples()
+
+    _clear_test_instruments()
+    assert [_work(task) for task in tasks] == results
+    sequential = _test_samples()
+
+    assert json.dumps(pooled, sort_keys=True, default=list) == json.dumps(
+        sequential, sort_keys=True, default=list
+    )
+
+
+def test_worker_reset_ships_only_the_shard_delta():
+    """Fork-inherited parent samples must not be double-merged back."""
+    registry().counter(COUNTER, "test work units", ("kind",)).inc(
+        100, kind="preexisting"
+    )
+    results = map_in_pool(_work, [0], workers=2, context="telemetry test")
+    if results is None:
+        pytest.skip("this environment cannot run a process pool")
+    counter = registry().get(COUNTER)
+    assert counter.value(kind="preexisting") == 100  # not 200
+    assert counter.value(kind="k0") == 1
