@@ -59,6 +59,13 @@ def main(path: str) -> None:
             raise SystemExit(f"metric {name} is zero; the smoke traffic "
                              "did not register")
         print(f"ok: {name} = {total:g}")
+    # Present-but-possibly-zero: the sentinel pre-seeds zero samples so
+    # a quiet scan is visible as zeros, not as a missing family.
+    required_present = ("sentinel_events_total",)
+    for name in required_present:
+        if totals.get(name) is None:
+            raise SystemExit(f"metric {name} missing from /metrics")
+        print(f"ok: {name} present ({totals[name]:g})")
     print(f"ok: {len(totals)} metric families, exposition parses")
 
 

@@ -48,9 +48,9 @@ from repro.telemetry import (
 #: ``total_wall_s`` exceeds it by more than ``--max-regression``.
 SMOKE_REFERENCE = {
     "label": "full pipeline + all artifacts (observatory + whatif default "
-    "grid) + the warm-vs-cold whatif sweep phases + the store "
-    "cold-write/warm-load phases; ~31 s measured, anchored at 42 s "
-    "for shared-runner variance",
+    "grid) + the sentinel:scan phase + the warm-vs-cold whatif sweep "
+    "phases + the store cold-write/warm-load phases; ~26 s measured, "
+    "anchored at 42 s for shared-runner variance",
     "config": {"days": 14, "sites": 300},
     "total_wall_s": 42.0,
     # The serving gate serve_load.py enforces by default: cached-artifact
@@ -109,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
     timed("build:census", lambda: study.census)
     timed("build:cloud", lambda: study.cloud)
     timed("build:observatory", lambda: study.observatory)
+    timed("sentinel:scan", lambda: study.sentinel)
     for name in registry.names():
         timed(f"artifact:{name}", lambda name=name: study.artifact(name).to_text())
 
@@ -185,6 +186,16 @@ def main(argv: list[str] | None = None) -> int:
             "sweep_cold_s": round(sweep_cold, 4),
             "cache_reuse_speedup": round(sweep_cold / sweep_warm, 2)
             if sweep_warm > 0
+            else None,
+        },
+        "sentinel": {
+            "events": len(study.sentinel.events),
+            "points": study.sentinel.points,
+            "scan_s": round(phases["sentinel:scan"], 4),
+            "events_per_s": round(
+                len(study.sentinel.events) / phases["sentinel:scan"], 2
+            )
+            if phases["sentinel:scan"] > 0
             else None,
         },
         "store": {

@@ -36,7 +36,7 @@ _META = ("all", "list")
 
 #: Subcommands dispatched before artifact parsing (and offered by the
 #: did-you-mean hint when a first argument matches nothing).
-_SUBCOMMANDS = ("store", "serve", "lint", "resilience", "trace")
+_SUBCOMMANDS = ("store", "serve", "lint", "resilience", "sentinel", "trace")
 
 
 def version_string() -> str:
@@ -301,6 +301,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "resilience":
         return _resilience_main(argv[1:])
+    if argv and argv[0] == "sentinel":
+        return _sentinel_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     parser = build_parser()
@@ -406,6 +408,84 @@ def _format_age(age_s: float) -> str:
     if age_s < 86400:
         return f"{int(age_s // 3600)}h{int(age_s % 3600 // 60)}m"
     return f"{int(age_s // 86400)}d{int(age_s % 86400 // 3600)}h"
+
+
+def _sentinel_main(argv: list[str]) -> int:
+    """``python -m repro sentinel`` -- the significance event feed."""
+    from repro.sentinel.config import SEVERITIES, severity_rank
+
+    parser = argparse.ArgumentParser(
+        prog="repro sentinel",
+        description="Scan the study's adoption time series (availability, "
+        "takeoff, readiness, usage, heavy-hitter mix) for significant "
+        "deviations against trailing baselines and print the event feed. "
+        "An empty feed means nothing deviated: silence is valid data.",
+    )
+    parser.add_argument("--since", type=int, default=0, metavar="N",
+                        help="only events on or after day N (default: 0)")
+    parser.add_argument("--country", default=None, metavar="CC",
+                        help="filter to one country code ('*' selects the "
+                        "fleet-wide signals)")
+    parser.add_argument("--min-severity", choices=SEVERITIES,
+                        default=SEVERITIES[0],
+                        help="drop events below this severity")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output shape (default: text)")
+    _add_store_argument(parser)
+    _add_version_argument(parser)
+    _add_scale_arguments(parser)
+    args = parser.parse_args(argv)
+    if args.since < 0:
+        parser.error("--since must be >= 0")
+    country = args.country.strip().upper() if args.country else None
+    _activate_store(args, parser)
+    config = _config_from_args(args, parser)
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    feed = Study(config, log=log).sentinel
+    min_rank = severity_rank(args.min_severity)
+    events = [
+        event
+        for event in feed.events
+        if event.day >= args.since
+        and (country is None or event.scope == country)
+        and severity_rank(event.severity) >= min_rank
+    ]
+    if args.format == "json":
+        document = {
+            "config": jsonify(dataclasses.asdict(config)),
+            "since": args.since,
+            "country": country,
+            "min_severity": args.min_severity,
+            "count": len(events),
+            "events": [jsonify(dataclasses.asdict(event)) for event in events],
+            "signals": list(feed.signals),
+            "scopes": list(feed.scopes),
+            "points": feed.points,
+            "thresholds": jsonify(dataclasses.asdict(feed.config)),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    from repro.util.tables import TextTable
+
+    table = TextTable(
+        ["day", "signal", "scope", "severity", "dir", "value", "baseline", "z"],
+        title="Sentinel — significant deviations vs trailing baselines",
+    )
+    for event in events:
+        table.add_row([
+            str(event.day), event.signal, event.scope, event.severity,
+            event.direction, f"{event.value:.4f}", f"{event.baseline:.4f}",
+            f"{event.z:+.2f}",
+        ])
+    print(table.render())
+    print(
+        f"{len(events)} event(s) shown of {len(feed.events)} emitted over "
+        f"{feed.points} series points; silence is valid data"
+    )
+    return 0
 
 
 def _trace_main(argv: list[str]) -> int:

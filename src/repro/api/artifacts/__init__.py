@@ -11,6 +11,15 @@ they read:
   perspective (per-country vantage probes) and the three-way contrast.
 * :mod:`repro.api.artifacts.whatif` -- the counterfactual intervention
   sweep (overlay studies, per-country deltas against the baseline).
+* :mod:`repro.api.artifacts.sentinel` -- the significance engine's
+  event feed and the sweep-by-events scenario ranking.
 """
 
-from repro.api.artifacts import census, cloud, observatory, traffic, whatif  # noqa: F401
+from repro.api.artifacts import (  # noqa: F401
+    census,
+    cloud,
+    observatory,
+    sentinel,
+    traffic,
+    whatif,
+)

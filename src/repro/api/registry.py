@@ -30,10 +30,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: the census (attribution runs over the crawl), ``"dependencies"`` is
 #: the memoized section-4.3 analysis of the census, and
 #: ``"observatory"`` is the active-measurement layer probing the census
-#: universe from the per-country vantage fleet, and ``"whatif"`` is the
-#: counterfactual sweep contrasting overlay worlds with the baseline.
+#: universe from the per-country vantage fleet, ``"whatif"`` is the
+#: counterfactual sweep contrasting overlay worlds with the baseline,
+#: and ``"sentinel"`` is the significance engine's event feed over the
+#: adoption time series.
 LAYERS = frozenset(
-    {"traffic", "census", "cloud", "dependencies", "observatory", "whatif"}
+    {
+        "traffic",
+        "census",
+        "cloud",
+        "dependencies",
+        "observatory",
+        "whatif",
+        "sentinel",
+    }
 )
 
 

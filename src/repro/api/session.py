@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cloudstats import DomainCloudView
     from repro.core.deps import DependencyAnalysis
     from repro.observatory.rounds import ObservatoryStudy
+    from repro.sentinel.scan import SentinelFeed
     from repro.whatif.sweep import WhatifSweep
 
 #: The session's registry instruments.  Builds and store traffic count
@@ -156,6 +157,7 @@ _CLOUD_CACHE: dict[tuple, dict] = {}
 _DEPS_CACHE: dict[tuple, Any] = {}
 _OBSERVATORY_CACHE: dict[tuple, Any] = {}
 _WHATIF_CACHE: dict[tuple, Any] = {}
+_SENTINEL_CACHE: dict[tuple, Any] = {}
 
 #: Every process-wide layer cache, in one place.  ``clear_caches`` and
 #: the sweep-worker priming iterate this; a new layer that adds its own
@@ -169,6 +171,7 @@ _ALL_CACHES: dict[str, dict] = {
     "dependencies": _DEPS_CACHE,
     "observatory": _OBSERVATORY_CACHE,
     "whatif": _WHATIF_CACHE,
+    "sentinel": _SENTINEL_CACHE,
 }
 
 
@@ -342,6 +345,7 @@ class Study:
         self._deps: "DependencyAnalysis | None" = None
         self._observatory: "ObservatoryStudy | None" = None
         self._whatif: "WhatifSweep | None" = None
+        self._sentinel: "SentinelFeed | None" = None
 
     @classmethod
     def from_prebuilt(
@@ -401,6 +405,14 @@ class Study:
             self._census_key(),
             self._observatory_key(),
             self._whatif_scenario_specs(),
+        )
+
+    def _sentinel_key(self) -> tuple:
+        return (
+            "sentinel",
+            self._traffic_key(),
+            self._census_key(),
+            self._observatory_key(),
         )
 
     def _whatif_scenario_specs(self) -> tuple[str, ...]:
@@ -608,6 +620,33 @@ class Study:
             )
         return self._whatif
 
+    @property
+    def sentinel(self) -> "SentinelFeed":
+        """The significance engine's event feed over this study's series.
+
+        Scans the five adoption signals (availability, takeoff,
+        readiness, usage, heavy-hitter mix) against trailing baselines
+        and caches the resulting deterministic
+        :class:`~repro.sentinel.scan.SentinelFeed` like every other
+        layer.  An empty feed is a valid result: silence means nothing
+        deviated, not that nothing was watched.
+        """
+        if self._sentinel is None:
+            from repro.sentinel.scan import run_sentinel
+
+            def build() -> "SentinelFeed":
+                return run_sentinel(self)
+
+            message = "# scanning adoption series for significant deviations ..."
+            if self._prebuilt:
+                self._say(message)
+                self._sentinel = self._timed_build("sentinel", build)
+            else:
+                self._sentinel = self._resolve_layer(
+                    "sentinel", self._sentinel_key(), build, message
+                )
+        return self._sentinel
+
     def artifact(self, name: str, **params: Any) -> "ArtifactResult":
         """Run one registered artifact against this study."""
         from repro.api import registry
@@ -631,6 +670,7 @@ class Study:
                 ("dependencies", self._deps),
                 ("observatory", self._observatory),
                 ("whatif", self._whatif),
+                ("sentinel", self._sentinel),
             )
             if value is not None
         ]

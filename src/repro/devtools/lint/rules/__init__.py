@@ -1,4 +1,4 @@
-"""The replint rule set: REP001..REP010, one invariant per rule.
+"""The replint rule set: REP001..REP011, one invariant per rule.
 
 ``default_rules()`` returns fresh instances (rules accumulate per-run
 state for their cross-module passes, so instances must not be shared
@@ -20,6 +20,7 @@ from repro.devtools.lint.rules.registry_contracts import (
 )
 from repro.devtools.lint.rules.retries import AdHocRetryRule
 from repro.devtools.lint.rules.serialization import SerializationRule
+from repro.devtools.lint.rules.thresholds import ThresholdLocalityRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
     NondeterminismRule,
@@ -32,6 +33,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SetOrderingRule,
     AdHocRetryRule,
     CounterRegistryRule,
+    ThresholdLocalityRule,
 )
 
 

@@ -1,0 +1,75 @@
+"""REP011: sentinel thresholds live in ``repro/sentinel/config.py``.
+
+The significance model's whole value is that its thresholds are
+conservative, reviewed, and *in one place*: a z-score cutoff buried in
+detector code drifts silently, and two call sites comparing against
+different literals means two significance models nobody decided to
+have.  Inside ``repro/sentinel/`` (the config module excepted), any
+float literal used in a comparison -- or bound to a module-level
+constant -- is a hard-coded threshold and must move into
+:class:`repro.sentinel.config.SentinelConfig` (or a named constant in
+that module) and be referenced by attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: The one module thresholds belong in.
+CONFIG_SUFFIX = "sentinel/config.py"
+
+
+def _float_literal(node: ast.AST) -> bool:
+    """A bare float constant, or the unary minus of one."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+class ThresholdLocalityRule(Rule):
+    id = "REP011"
+    title = "sentinel thresholds live in sentinel/config.py only"
+    hint = (
+        "move the float literal into repro/sentinel/config.py (a "
+        "SentinelConfig field or a named module constant) and compare "
+        "against the attribute; detector and series code must carry no "
+        "hard-coded thresholds of its own"
+    )
+
+    def want(self, ctx: ModuleContext) -> bool:
+        relpath = ctx.relpath
+        in_sentinel = relpath.startswith("sentinel/") or "/sentinel/" in relpath
+        return in_sentinel and not relpath.endswith(CONFIG_SUFFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_float_literal(operand) for operand in operands):
+                yield ctx.violation(
+                    self,
+                    node,
+                    "float literal in a comparison is a hard-coded "
+                    f"threshold; it belongs in {CONFIG_SUFFIX}",
+                )
+        for node in ctx.tree.body:  # module level only: a constant is a knob
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _float_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"module-level float constant {target.id} is a "
+                        f"threshold knob; it belongs in {CONFIG_SUFFIX}",
+                    )

@@ -1,0 +1,102 @@
+"""The deviation detector: trailing baselines, conservative z-scores.
+
+For each signal matrix the detector maintains, per scope column, the
+*trailing* mean and standard deviation of every prefix -- computed in
+one pass with cumulative sums, no per-point loop.  A point becomes an
+event when it sits at least ``z_watch`` baseline sigmas away from the
+mean of everything before it, and only once ``min_history`` points of
+baseline exist.  One point per (signal, scope, day) means at most one
+event per signal per scope per day by construction.
+
+All thresholds come from :class:`repro.sentinel.config.SentinelConfig`;
+REP011 keeps literal thresholds out of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sentinel.config import SEVERITIES, SentinelConfig
+from repro.sentinel.series import SignalSeries
+
+
+@dataclass(frozen=True)
+class SentinelEvent:
+    """One significant deviation in one signal's series.
+
+    Attributes:
+        day: simulation day the deviating point landed on.
+        signal: which adoption signal deviated.
+        scope: country code, or ``"*"`` for fleet-wide signals.
+        value: the observed point.
+        baseline: trailing mean of every earlier point.
+        sigma: trailing standard deviation (floored by the config).
+        z: signed deviation in sigmas, ``(value - baseline) / sigma``.
+        direction: ``"up"`` or ``"down"``.
+        severity: ``"watch"``, ``"elevated"`` or ``"critical"``.
+    """
+
+    day: int
+    signal: str
+    scope: str
+    value: float
+    baseline: float
+    sigma: float
+    z: float
+    direction: str
+    severity: str
+
+
+def _severity_of(z_abs: float, config: SentinelConfig) -> str:
+    if z_abs >= config.z_critical:
+        return SEVERITIES[2]
+    if z_abs >= config.z_elevated:
+        return SEVERITIES[1]
+    return SEVERITIES[0]
+
+
+def detect_series(
+    series: SignalSeries, config: SentinelConfig
+) -> list[SentinelEvent]:
+    """All events in one signal's series, in (day, scope) order.
+
+    The trailing statistics are prefix cumulative sums: for row ``t``
+    the baseline is the mean/std of rows ``0..t-1``.  The only Python
+    loop runs over emitted events, which the conservative thresholds
+    keep rare -- "silence is valid data".
+    """
+    matrix = np.asarray(series.values, dtype=np.float64)
+    points = matrix.shape[0]
+    if points <= config.min_history:
+        return []
+    csum = np.cumsum(matrix, axis=0)
+    csq = np.cumsum(matrix * matrix, axis=0)
+    prev_counts = np.arange(1, points).reshape(-1, 1).astype(np.float64)
+    prev_mean = csum[:-1] / prev_counts
+    prev_var = np.maximum(csq[:-1] / prev_counts - prev_mean * prev_mean, 0.0)
+    sigma = np.maximum(np.sqrt(prev_var), config.sigma_floor)
+    z = (matrix[1:] - prev_mean) / sigma
+    eligible = np.zeros(z.shape, dtype=bool)
+    eligible[config.min_history - 1:, :] = True
+    hits = eligible & (np.abs(z) >= config.z_watch)
+    events: list[SentinelEvent] = []
+    for row, col in zip(*np.nonzero(hits)):
+        point = row + 1
+        z_value = float(z[row, col])
+        events.append(
+            SentinelEvent(
+                day=int(series.days[point]),
+                signal=series.signal,
+                scope=series.scopes[col],
+                value=float(matrix[point, col]),
+                baseline=float(prev_mean[row, col]),
+                sigma=float(sigma[row, col]),
+                z=z_value,
+                direction="up" if z_value > 0 else "down",
+                severity=_severity_of(abs(z_value), config),
+            )
+        )
+    events.sort(key=lambda event: (event.day, event.scope))
+    return events

@@ -71,6 +71,7 @@ ENDPOINTS = (
     "/v1/artifacts",
     "/v1/artifact/<name>",
     "/v1/contrast/<country>",
+    "/v1/events",
     "/v1/trace",
 )
 
@@ -126,6 +127,8 @@ def endpoint_label(path: str) -> str:
         return "/v1/artifact/<name>"
     if path.startswith("/v1/contrast/"):
         return "/v1/contrast/<country>"
+    if path in ("/v1/events", "/v1/events/"):
+        return "/v1/events"
     if path in ("/v1/trace", "/v1/trace/"):
         return "/v1/trace"
     return "<other>"
@@ -415,6 +418,8 @@ class ArtifactService:
         if path.startswith("/v1/contrast/"):
             country = path[len("/v1/contrast/"):]
             return self._contrast(country, query, hot_only)
+        if path in ("/v1/events", "/v1/events/"):
+            return self._events(query, hot_only)
         raise ServiceError(
             404,
             {"error": f"unknown path {path!r}", "endpoints": list(ENDPOINTS)},
@@ -480,6 +485,17 @@ class ArtifactService:
         degraded = bool(self.warmer.errors) or any(
             snapshot["state"] != "closed" for snapshot in breakers.values()
         )
+        store_gauges = None
+        if self.store is not None:
+            try:
+                entries, size = self.store.refresh_gauges()
+                store_gauges = {"entries": entries, "bytes": size}
+            # Same contract as the /metrics scrape path: a health poll
+            # must not fail over a damaged manifest; store verify/gc is
+            # the repair surface.
+            # replint: allow[REP007] health path: gauges simply stay at their last values
+            except Exception:  # pragma: no cover - defensive
+                pass
         return {
             "status": "degraded" if degraded else "ok",
             # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
@@ -513,6 +529,7 @@ class ArtifactService:
                     for key, value in _DEGRADED.sample_items()
                 },
                 "write_behind_failures": int(_WRITE_BEHIND_FAILURES.value()),
+                "store_gauges": store_gauges,
                 "metrics": "/metrics",
                 "trace": "/v1/trace",
             },
@@ -645,6 +662,88 @@ class ArtifactService:
         }
         if contrast.stale:
             # Derived from a stale full table: stays marked, stays uncached.
+            document["degraded"] = full.get("degraded", {"stale": True})
+            return dataclasses.replace(_Encoded.from_document(document), stale=True)
+        return self._hot_put(key, _Encoded.from_document(document))
+
+    def _events(self, query: str, hot_only: bool) -> _Encoded | None:
+        """``GET /v1/events?since=<day>&country=<CC>&min_severity=<s>``.
+
+        A filtered view over the ``sentinel_events`` artifact, so it
+        inherits the warehouse/compute tiers and the degraded path; an
+        empty ``events`` list is a valid 200 ("silence is valid data").
+        All three filter parameters are validated to 400s -- bad input
+        must never surface as a 500 from ``int()``.
+        """
+        from urllib.parse import urlencode
+
+        from repro.sentinel.config import SEVERITIES, severity_rank
+
+        since = 0
+        country: str | None = None
+        min_severity = SEVERITIES[0]
+        scale_pairs: list[tuple[str, str]] = []
+        for param, raw in parse_qsl(query, keep_blank_values=True):
+            if param == "since":
+                try:
+                    since = int(raw)
+                except ValueError:
+                    raise ServiceError(
+                        400,
+                        {"error": f"parameter 'since' needs an integer, got {raw!r}"},
+                    ) from None
+                if since < 0:
+                    raise ServiceError(400, {"error": "'since' must be >= 0"})
+            elif param == "country":
+                country = raw.strip().upper()
+                if not country:
+                    raise ServiceError(
+                        400, {"error": "parameter 'country' must not be empty"}
+                    )
+            elif param == "min_severity":
+                if raw not in SEVERITIES:
+                    raise ServiceError(
+                        400,
+                        {
+                            "error": f"unknown severity {raw!r}",
+                            "known": list(SEVERITIES),
+                        },
+                    )
+                min_severity = raw
+            else:
+                # Scale/override parameters fall through to the shared
+                # config parser, which 400s anything it doesn't know.
+                scale_pairs.append((param, raw))
+        config = self._config_from_query(urlencode(scale_pairs))
+        key = ("events", since, country, min_severity, config.result_key)
+        hit = self._hot_get(key)
+        if hit is not None:
+            return hit
+        if hot_only:
+            return None  # rendering the feed may build; go off-loop
+        full_encoded = self._render_artifact("sentinel_events", config)
+        full = json.loads(full_encoded.body.decode("utf-8"))
+        min_rank = severity_rank(min_severity)
+        events = [
+            row
+            for row in full["rows"]
+            if row["day"] >= since
+            and (country is None or row["scope"] == country)
+            and severity_rank(row["severity"]) >= min_rank
+        ]
+        document = {
+            "since": since,
+            "country": country,
+            "min_severity": min_severity,
+            "count": len(events),
+            "config": full["config"],
+            "columns": full["columns"],
+            "events": events,
+            "metadata": full["metadata"],
+            "source": "/v1/artifact/sentinel_events",
+        }
+        if full_encoded.stale:
+            # Derived from a stale feed: stays marked, stays uncached.
             document["degraded"] = full.get("degraded", {"stale": True})
             return dataclasses.replace(_Encoded.from_document(document), stale=True)
         return self._hot_put(key, _Encoded.from_document(document))

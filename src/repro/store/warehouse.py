@@ -63,6 +63,7 @@ DEFAULT_SNAPSHOT_LAYERS = (
     "cloud",
     "dependencies",
     "observatory",
+    "sentinel",
 )
 
 
@@ -653,6 +654,7 @@ def _layer_keys(study: "Study") -> dict[str, tuple]:
         "dependencies": census_key,
         "observatory": study._observatory_key(),
         "whatif": study._whatif_key(),
+        "sentinel": study._sentinel_key(),
     }
 
 
@@ -675,6 +677,7 @@ def snapshot_study(
         "dependencies": lambda: study.dependencies,
         "observatory": lambda: study.observatory,
         "whatif": lambda: study.whatif,
+        "sentinel": lambda: study.sentinel,
     }
     entries: dict[str, StoreEntry] = {}
     for layer in layers:
@@ -693,8 +696,8 @@ def warm_start(
 ) -> list[str]:
     """Prime a cold process's session caches from disk.
 
-    Loads every requested layer the store holds for ``config`` (all six
-    by default, skipping absences) and seeds them through
+    Loads every requested layer the store holds for ``config`` (all
+    seven by default, skipping absences) and seeds them through
     :func:`repro.api.session.prime_caches`.  Returns the layers primed.
     """
     from repro.api.session import Study, prime_caches

@@ -31,6 +31,7 @@ LAYER_CASES = {
     "cloud": "table2",
     "observatory": "obs_availability",
     "whatif": "whatif",
+    "sentinel": "sentinel_events",
 }
 
 #: Pinned schema-snapshot scale: small enough for seconds-fast renders,
@@ -109,7 +110,7 @@ def test_wire_schema_matches_golden(study, layer, name):
 
 def test_every_layer_has_a_case():
     assert set(LAYER_CASES) == {
-        "traffic", "census", "cloud", "observatory", "whatif",
+        "traffic", "census", "cloud", "observatory", "whatif", "sentinel",
     }
 
 

@@ -1,0 +1,15 @@
+"""Flag corpus for REP011: thresholds hard-coded outside config.py."""
+
+Z_WATCH = 2.5  # flagged: module-level float constant is a threshold knob
+
+
+def severity_of(z_abs):
+    if z_abs >= 5.0:  # flagged: float literal in a comparison
+        return "critical"
+    if z_abs > Z_WATCH + 1.0:  # arithmetic literal alone is fine...
+        return "elevated"
+    return "watch"
+
+
+def eligible(sigma):
+    return sigma > 0.01  # flagged: float literal in a comparison

@@ -1,0 +1,5 @@
+"""Pass corpus for REP011: config.py is where thresholds belong."""
+
+Z_WATCH = 2.5
+Z_CRITICAL = 5.0
+SIGMA_FLOOR = 0.01

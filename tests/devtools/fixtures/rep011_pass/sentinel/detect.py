@@ -1,0 +1,17 @@
+"""Pass corpus for REP011: detector compares against config attributes."""
+
+from sentinel.config import SIGMA_FLOOR, Z_CRITICAL, Z_WATCH
+
+MIN_HISTORY = 3  # int constants are structure, not threshold knobs
+
+
+def severity_of(z_abs):
+    if z_abs >= Z_CRITICAL:
+        return "critical"
+    if z_abs >= Z_WATCH:
+        return "watch"
+    return "quiet"
+
+
+def eligible(sigma, points):
+    return sigma > SIGMA_FLOOR and points >= MIN_HISTORY

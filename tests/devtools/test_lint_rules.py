@@ -28,6 +28,7 @@ FLAG_CASES = [
     ("REP008", "rep008_flag.py", 3),
     ("REP009", "rep009_flag.py", 4),
     ("REP010", "rep010_flag.py", 3),
+    ("REP011", "rep011_flag", 3),
 ]
 
 PASS_CASES = [
@@ -41,6 +42,7 @@ PASS_CASES = [
     ("REP008", "rep008_pass.py"),
     ("REP009", "rep009_pass"),
     ("REP010", "rep010_pass.py"),
+    ("REP011", "rep011_pass"),
 ]
 
 

@@ -1,0 +1,99 @@
+"""Detector semantics on synthetic series: thresholds, direction, silence."""
+
+import numpy as np
+
+from repro.sentinel.config import DEFAULT_SENTINEL_CONFIG, SentinelConfig
+from repro.sentinel.detect import detect_series
+from repro.sentinel.series import SignalSeries
+
+CFG = DEFAULT_SENTINEL_CONFIG
+
+
+def series(values, scopes=("*",), signal="usage"):
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    return SignalSeries(
+        signal=signal,
+        days=tuple(range(matrix.shape[0])),
+        scopes=scopes,
+        values=matrix,
+    )
+
+
+class TestSilence:
+    def test_flat_series_emits_nothing(self):
+        assert detect_series(series([0.3] * 10), CFG) == []
+
+    def test_noise_below_threshold_emits_nothing(self):
+        values = [0.30, 0.31, 0.30, 0.29, 0.30, 0.31, 0.29, 0.30]
+        assert detect_series(series(values), CFG) == []
+
+    def test_too_short_series_emits_nothing(self):
+        # A huge jump, but with fewer points than min_history of baseline.
+        assert detect_series(series([0.0, 0.0, 9.9]), CFG) == []
+
+    def test_spike_inside_warmup_window_emits_nothing(self):
+        # The deviating point sits at index 2 < min_history: still warm-up.
+        values = [0.0, 0.0, 9.9, 9.9, 9.9, 9.9]
+        events = detect_series(series(values), CFG)
+        assert all(event.day >= CFG.min_history for event in events)
+
+
+class TestDeviation:
+    def test_spike_after_warmup_fires_once_upward(self):
+        values = [0.0, 0.0, 0.0, 0.0, 0.5]
+        [event] = detect_series(series(values), CFG)
+        assert event.day == 4
+        assert event.scope == "*"
+        assert event.direction == "up"
+        assert event.z > CFG.z_watch
+        assert event.value == 0.5
+        assert event.baseline == 0.0
+
+    def test_drop_fires_downward(self):
+        values = [0.5, 0.5, 0.5, 0.5, 0.0]
+        [event] = detect_series(series(values), CFG)
+        assert event.direction == "down"
+        assert event.z < 0
+
+    def test_severity_tiers_scale_with_z(self):
+        # Flat baseline: sigma is the floor, so z = spike / sigma_floor.
+        floor = CFG.sigma_floor
+
+        def spike(magnitude):
+            values = [0.0, 0.0, 0.0, 0.0, magnitude]
+            [event] = detect_series(series(values), CFG)
+            return event
+
+        assert spike(floor * (CFG.z_watch + 0.1)).severity == "watch"
+        assert spike(floor * (CFG.z_elevated + 0.1)).severity == "elevated"
+        assert spike(floor * (CFG.z_critical + 0.1)).severity == "critical"
+
+    def test_sigma_floor_bounds_z(self):
+        [event] = detect_series(series([0.0, 0.0, 0.0, 0.0, 1.0]), CFG)
+        assert event.sigma >= CFG.sigma_floor
+        assert event.z <= 1.0 / CFG.sigma_floor
+
+    def test_at_most_one_event_per_scope_per_day(self):
+        matrix = np.zeros((6, 2))
+        matrix[5, 0] = 0.9
+        matrix[5, 1] = 0.9
+        events = detect_series(series(matrix, scopes=("DE", "FR")), CFG)
+        assert len(events) == 2
+        assert len({(e.signal, e.scope, e.day) for e in events}) == len(events)
+        assert [e.scope for e in events] == ["DE", "FR"]  # day, then scope
+
+
+class TestConfig:
+    def test_min_history_is_honored(self):
+        eager = SentinelConfig(min_history=1)
+        values = [0.0, 0.9, 0.0, 0.0]
+        assert detect_series(series(values), CFG) == []
+        assert detect_series(series(values), eager)
+
+    def test_custom_watch_threshold(self):
+        strict = SentinelConfig(z_watch=50.0, z_elevated=60.0, z_critical=70.0)
+        values = [0.0, 0.0, 0.0, 0.0, 0.4]
+        assert detect_series(series(values), CFG)
+        assert detect_series(series(values), strict) == []

@@ -1,0 +1,107 @@
+"""Feed-level contracts: determinism, parallel bit-identity, telemetry."""
+
+import json
+
+import pytest
+
+from repro.api import Study, StudyConfig, clear_caches
+from repro.sentinel.config import SEVERITIES, SIGNALS
+from repro.telemetry import registry as metrics_registry
+
+CONFIG = StudyConfig(days=6, sites=140, probe_targets=70, parallel=False)
+
+
+@pytest.fixture(autouse=True)
+def _cold():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestFeedShape:
+    def test_feed_census_and_ordering(self):
+        feed = Study(CONFIG).sentinel
+        assert feed.signals == SIGNALS
+        assert feed.days == CONFIG.days
+        assert feed.points > 0
+        assert "*" in feed.scopes
+        keys = [(e.day, e.signal, e.scope) for e in feed.events]
+        assert keys == sorted(keys)
+        # At most one event per signal per scope per day.
+        assert len(set(keys)) == len(keys)
+        for event in feed.events:
+            assert event.severity in SEVERITIES
+            assert event.direction in ("up", "down")
+            assert event.signal in SIGNALS
+
+    def test_layer_is_cached_per_config(self):
+        study = Study(CONFIG)
+        assert study.sentinel is Study(CONFIG).sentinel
+
+    def test_since_filters_by_day(self):
+        feed = Study(CONFIG).sentinel
+        assert feed.since(0) == feed.events
+        assert all(e.day >= 3 for e in feed.since(3))
+
+
+class TestDeterminism:
+    def test_same_seed_yields_identical_feed(self):
+        first = Study(CONFIG).sentinel
+        clear_caches()
+        second = Study(CONFIG).sentinel
+        assert first is not second
+        assert first == second
+
+    def test_parallel_and_sequential_feeds_are_bit_identical(self):
+        sequential = Study(CONFIG).sentinel
+        clear_caches()
+        parallel = Study(CONFIG.replace(parallel=2)).sentinel
+        assert sequential.events == parallel.events
+        assert sequential.points == parallel.points
+
+    def test_different_seed_may_differ_but_is_self_consistent(self):
+        reseeded = CONFIG.replace(seed=7)
+        first = Study(reseeded).sentinel
+        clear_caches()
+        assert first == Study(reseeded).sentinel
+
+
+class TestCliFeed:
+    def test_cli_json_feed_is_byte_identical_across_runs(self, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sentinel", "--days", "6", "--sites", "140",
+            "--probe-targets", "70", "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        clear_caches()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["count"] == len(document["events"])
+        assert document["signals"] == list(SIGNALS)
+
+    def test_cli_rejects_negative_since(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["sentinel", "--since", "-1"])
+
+
+class TestTelemetry:
+    def test_scan_populates_counter_and_histogram(self):
+        Study(CONFIG).sentinel
+        registry = metrics_registry()
+        counter = registry.get("sentinel_events_total")
+        assert counter is not None
+        # Zero samples are pre-seeded for every signal x severity, so
+        # the family renders even when a scan stays silent.
+        rendered = registry.render_prometheus()
+        assert "sentinel_events_total" in rendered
+        assert "sentinel_scan_seconds" in rendered
+        total = sum(value for _, value in counter.sample_items())
+        feed = Study(CONFIG).sentinel  # cache hit: no double counting
+        assert total >= len(feed.events)

@@ -68,6 +68,7 @@ class TestWarmStartFidelity:
         primed = warm_start(store, CONFIG)
         assert set(primed) == {
             "traffic", "census", "cloud", "dependencies", "observatory",
+            "sentinel",
         }
         before = BUILD_COUNTS.copy()
         fresh = Study(CONFIG)
