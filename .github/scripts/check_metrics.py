@@ -20,8 +20,14 @@ SAMPLE_RE = re.compile(
 )
 
 
-def parse(text: str) -> dict[str, float]:
-    """Validate every line; return un-labeled totals per metric name."""
+def parse(text: str) -> tuple[dict[str, float], set[str]]:
+    """Validate every line; return per-name totals and declared families.
+
+    The ``typed`` set carries every ``# TYPE``-declared family --
+    including sample-less ones (a declared-but-empty family is how the
+    registry exposes instruments that have not fired yet, e.g.
+    ``build_peak_bytes`` on a server that never ran a profiled build).
+    """
     totals: dict[str, float] = {}
     typed: set[str] = set()
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -38,18 +44,19 @@ def parse(text: str) -> dict[str, float]:
         totals[name] = totals.get(name, 0.0) + float(value)
     if not typed:
         raise SystemExit("no # TYPE lines: not a Prometheus exposition")
-    return totals
+    return totals, typed
 
 
 def main(path: str) -> None:
     text = open(path, encoding="utf-8").read()
     if not text.endswith("\n"):
         raise SystemExit("exposition must end with a newline")
-    totals = parse(text)
+    totals, typed = parse(text)
     required_nonzero = (
         "serve_requests_total",
         "serve_hot_cache_hits_total",  # the repeat contrast GETs hit hot
         "serve_not_modified_total",  # the If-None-Match curl revalidated
+        "process_rss_bytes",  # the scrape path refreshes the process gauges
     )
     for name in required_nonzero:
         total = totals.get(name)
@@ -66,6 +73,15 @@ def main(path: str) -> None:
         if totals.get(name) is None:
             raise SystemExit(f"metric {name} missing from /metrics")
         print(f"ok: {name} present ({totals[name]:g})")
+    # Declared-but-possibly-sampleless: the memory instruments register
+    # at import, but only a profiled build writes build_peak_bytes and
+    # only collector runs move gc_collections_total -- the family must
+    # be declared either way or memory observability silently fell off.
+    required_declared = ("build_peak_bytes", "gc_collections_total")
+    for name in required_declared:
+        if name not in typed:
+            raise SystemExit(f"family {name} not declared on /metrics")
+        print(f"ok: {name} declared")
     print(f"ok: {len(totals)} metric families, exposition parses")
 
 

@@ -34,6 +34,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.api import Study, StudyConfig, clear_caches, registry
+from repro.prof import (
+    append_history,
+    build_peaks,
+    history_record,
+    profiled_spans,
+    profiling,
+)
 from repro.telemetry import (
     recent_spans,
     registry as metrics_registry,
@@ -87,6 +94,26 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=Path(__file__).parent / "results" / "BENCH_results.json",
     )
+    parser.add_argument(
+        "--profile-phase",
+        default="build:cloud",
+        metavar="PHASE",
+        help="run this one phase under span-scoped CPU profiling "
+        "(+ tracemalloc build peaks) and write PROF_smoke.json; "
+        "'none' disables (default: build:cloud)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_history.jsonl",
+        help="append this run's per-phase timings here "
+        "(the series 'repro bench history' scans)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history append (throwaway experiments)",
+    )
     args = parser.parse_args(argv)
 
     study = Study(StudyConfig(days=args.days, sites=args.sites))
@@ -101,8 +128,17 @@ def main(argv: list[str] | None = None) -> int:
     smoke_span.__enter__()
 
     def timed(name: str, thunk) -> None:
-        with span(f"perf:{name}") as phase_span:
-            thunk()
+        if name == args.profile_phase:
+            # One phase runs under the span profiler: CPU capture on
+            # the phase span, tracemalloc peaks on the build spans it
+            # contains.  Scoped to the phase so the rest of the smoke
+            # run measures the unprofiled cost.
+            with profiling(spans=(f"perf:{name}",), memory=True):
+                with span(f"perf:{name}") as phase_span:
+                    thunk()
+        else:
+            with span(f"perf:{name}") as phase_span:
+                thunk()
         phases[name] = phase_span.duration_s
 
     timed("build:traffic", lambda: study.traffic)
@@ -164,6 +200,18 @@ def main(argv: list[str] | None = None) -> int:
     total = time.perf_counter() - overall_start
     smoke_span.__exit__(None, None, None)
     smoke_tree = span_tree(recent_spans()[-1])
+    captured = profiled_spans(recent_spans())
+    profile_block = None
+    if captured:
+        node = captured[0]
+        profile_block = {
+            "phase": args.profile_phase,
+            "duration_ms": round(node.duration_s * 1000.0, 3),
+            "coverage": node.profile["coverage"],
+            "functions": node.profile["functions"],
+            # tracemalloc peaks of the build spans inside the phase.
+            "build_peak_bytes": build_peaks(),
+        }
     sweep_warm = phases["whatif:sweep"]
     sweep_cold = phases["whatif:sweep_cold"]
     payload = {
@@ -216,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
             "span_tree": smoke_tree,
             "metrics": metrics_registry().snapshot(),
         },
+        # The profiled phase's summary (full call tree: PROF_smoke.json).
+        "profiling": profile_block,
         # Distinct key from the benchmark harness's per-phase "reference"
         # block: both writers share this file path and schema tag.
         "smoke_reference": SMOKE_REFERENCE,
@@ -224,6 +274,34 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     trace_path = args.output.parent / "TRACE_smoke.json"
     trace_path.write_text(json.dumps({"spans": [smoke_tree]}, indent=2) + "\n")
+    prof_path = None
+    if captured:
+        prof_path = args.output.parent / "PROF_smoke.json"
+        prof_path.write_text(json.dumps(
+            {
+                "phase": args.profile_phase,
+                "profiles": [
+                    {
+                        "span": node.name,
+                        "duration_ms": round(node.duration_s * 1000.0, 3),
+                        "peak_bytes": node.peak_bytes,
+                        "profile": node.profile,
+                    }
+                    for node in captured
+                ],
+            },
+            indent=2,
+        ) + "\n")
+    if not args.no_history:
+        # One line per run: what `repro bench history` scans for
+        # per-phase drift against this scale's trailing baseline.
+        append_history(args.history, history_record(
+            kind="perf_smoke",
+            config={"days": args.days, "sites": args.sites,
+                    "seed": study.config.seed},
+            phases={**phases, "total:wall": total},
+            recorded_at=payload["recorded_at"],
+        ))
 
     slowest = sorted(phases.items(), key=lambda kv: -kv[1])[:5]
     print(f"perf-smoke: days={args.days} sites={args.sites} "
@@ -234,10 +312,24 @@ def main(argv: list[str] | None = None) -> int:
           f"{cold_build_s:.2f}s "
           f"({cold_build_s / max(phases['store:warm-load'], 1e-9):.1f}x "
           f"warm-start speedup; cold write {phases['store:cold-write']:.2f}s)")
+    if profile_block is not None:
+        peaks = profile_block["build_peak_bytes"]
+        print(
+            f"  profiled {profile_block['phase']}: "
+            f"{profile_block['functions']} functions, "
+            f"coverage {profile_block['coverage']:.1%}, "
+            f"build peaks "
+            + (", ".join(f"{layer}={peak:,}B" for layer, peak in peaks.items())
+               or "none")
+        )
     for name, seconds in slowest:
         print(f"  {seconds:8.2f}s  {name}")
     print(f"  wrote {args.output}")
     print(f"  wrote {trace_path}")
+    if prof_path is not None:
+        print(f"  wrote {prof_path}")
+    if not args.no_history:
+        print(f"  appended {args.history}")
     if total > args.budget:
         print("perf-smoke: FAILED -- over budget", file=sys.stderr)
         return 1

@@ -164,6 +164,19 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=Path(__file__).parent / "results" / "BENCH_results.json",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_history.jsonl",
+        help="append this run's throughput/latency series here "
+        "(the series 'repro bench history' scans; rps phases regress "
+        "downward)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history append (throwaway experiments)",
+    )
     args = parser.parse_args(argv)
 
     if args.store:
@@ -188,6 +201,28 @@ def main(argv: list[str] | None = None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
+    if not args.no_history:
+        from datetime import datetime, timezone
+
+        from repro.prof import append_history, history_record
+
+        cached_block = serve_block["cached_get"]
+        revalidated_block = serve_block["revalidate_304"]
+        append_history(args.history, history_record(
+            kind="serve_load",
+            config={**serve_block["config"],
+                    "connections": args.connections,
+                    "requests": args.requests},
+            phases={
+                "serve:warm_s": serve_block["warm_s"],
+                "serve:cached_rps": cached_block["rps"] or 0.0,
+                "serve:cached_p99_ms": cached_block["p99_ms"],
+                "serve:revalidate_rps": revalidated_block["rps"] or 0.0,
+                "serve:revalidate_p99_ms": revalidated_block["p99_ms"],
+            },
+            recorded_at=datetime.now(timezone.utc).isoformat(),
+        ))
+
     min_rps = args.min_rps
     if min_rps is None:
         # Sibling module: the script directory is on sys.path when this
@@ -207,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
         f"(p50 {revalidated['p50_ms']:.2f} ms, p99 {revalidated['p99_ms']:.2f} ms)"
     )
     print(f"  wrote {args.output}")
+    if not args.no_history:
+        print(f"  appended {args.history}")
     if min_rps and cached["rps"] < min_rps:
         print(
             f"serve-load: FAILED -- {cached['rps']:.0f} req/s on cached "

@@ -36,7 +36,9 @@ _META = ("all", "list")
 
 #: Subcommands dispatched before artifact parsing (and offered by the
 #: did-you-mean hint when a first argument matches nothing).
-_SUBCOMMANDS = ("store", "serve", "lint", "resilience", "sentinel", "trace")
+_SUBCOMMANDS = (
+    "store", "serve", "lint", "resilience", "sentinel", "trace", "prof", "bench",
+)
 
 
 def version_string() -> str:
@@ -305,6 +307,10 @@ def main(argv: list[str] | None = None) -> int:
         return _sentinel_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "prof":
+        return _prof_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     requested = list(dict.fromkeys(args.artifacts))
@@ -546,6 +552,174 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _prof_main(argv: list[str]) -> int:
+    """``python -m repro prof`` -- run artifacts under span profiling."""
+    parser = argparse.ArgumentParser(
+        prog="repro prof",
+        description="Run artifacts with span-scoped CPU profiling and "
+        "export the deterministic call trees -- compact JSON "
+        "(--format tree) or speedscope flamegraph format "
+        "(--format speedscope; load the file at speedscope.app).",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="artifact",
+        help="artifact names to run under the profiler (default: all)",
+    )
+    parser.add_argument("--format", choices=("tree", "speedscope"),
+                        default="tree",
+                        help="export shape (default: tree)")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write the JSON here instead of stdout")
+    parser.add_argument("--spans", default="artifact:*", metavar="P1,P2,...",
+                        help="span-name patterns to capture (exact names or "
+                        "trailing-* prefixes; default: artifact:*)")
+    parser.add_argument("--memory", action="store_true",
+                        help="also capture tracemalloc peaks on build spans "
+                        "(build_peak_bytes{layer} + Span.peak_bytes)")
+    _add_store_argument(parser)
+    _add_version_argument(parser)
+    _add_scale_arguments(parser)
+    args = parser.parse_args(argv)
+    names = list(dict.fromkeys(args.artifacts)) or registry.names()
+    unknown = [name for name in names if name not in registry.names()]
+    if unknown:
+        parser.error(
+            f"unknown artifacts: {', '.join(unknown)} "
+            "(try: python -m repro list)"
+        )
+    patterns = tuple(part for part in args.spans.split(",") if part)
+    if not patterns:
+        parser.error("--spans needs at least one pattern")
+    _activate_store(args, parser)
+    config = _config_from_args(args, parser)
+
+    from repro.prof import (
+        profiled_spans,
+        profiling,
+        speedscope_document,
+    )
+    from repro.telemetry import recent_spans, reset_trace, span
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    reset_trace()  # export exactly this run, not whatever came before
+    study = Study(config, log=log)
+    with profiling(spans=patterns, memory=args.memory):
+        with span("prof:run", artifacts=len(names), scale=args.scale):
+            for name in names:
+                study.artifact(name)
+    captured = profiled_spans(recent_spans())
+    if not captured:
+        log(
+            f"# prof: no spans matched {args.spans!r} -- "
+            "try --spans 'artifact:*' or 'build:*'"
+        )
+    if args.format == "speedscope":
+        document: dict = speedscope_document(
+            [(node.name, node.profile) for node in captured]
+        )
+    else:
+        document = {
+            "spans": list(patterns),
+            "count": len(captured),
+            "profiles": [
+                {
+                    "span": node.name,
+                    "labels": dict(sorted(node.labels.items())),
+                    "duration_ms": round(node.duration_s * 1000.0, 3),
+                    "peak_bytes": node.peak_bytes,
+                    "profile": node.profile,
+                }
+                for node in captured
+            ],
+        }
+    text = json.dumps(document, indent=2)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        log(f"# prof: wrote {args.format} JSON to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _bench_main(argv: list[str]) -> int:
+    """``python -m repro bench history`` -- the perf-history sentinel."""
+    from pathlib import Path
+
+    from repro.sentinel.config import SEVERITIES
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Scan the committed bench history "
+        "(benchmarks/results/BENCH_history.jsonl, appended by "
+        "perf_smoke.py and serve_load.py) for per-phase performance "
+        "drift against trailing baselines -- the sentinel detector "
+        "turned inward.  An empty report means nothing drifted: "
+        "silence is valid data.",
+    )
+    parser.add_argument(
+        "command",
+        type=_subcommand_argument(("history",)),
+        metavar="command",
+        help="history (detect per-phase drift events over the bench "
+        "history file)",
+    )
+    from repro.prof import DEFAULT_HISTORY_PATH
+
+    parser.add_argument("--history", type=Path,
+                        default=DEFAULT_HISTORY_PATH, metavar="PATH",
+                        help=f"history file (default: {DEFAULT_HISTORY_PATH})")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output shape (default: text)")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="also write the JSON report here (the CI "
+                        "bench_history artifact)")
+    parser.add_argument("--fail-on", choices=SEVERITIES, default=None,
+                        metavar="SEVERITY",
+                        help="exit 1 when any *regression* event reaches "
+                        "this severity (improvements never fail the run)")
+    _add_version_argument(parser)
+    args = parser.parse_args(argv)
+
+    from repro.prof import (
+        detect_history,
+        load_history,
+        render_history_text,
+        worst_regression_severity,
+    )
+    from repro.sentinel.config import severity_rank
+
+    records, skipped = load_history(args.history)
+    report = detect_history(records, skipped=skipped)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(text)
+    else:
+        print(render_history_text(report))
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"# bench history: wrote report to {args.output}",
+              file=sys.stderr)
+    worst = worst_regression_severity(report)
+    if (
+        args.fail_on is not None
+        and worst is not None
+        and severity_rank(worst) >= severity_rank(args.fail_on)
+    ):
+        print(
+            f"bench history: FAILED -- {worst} regression event(s) at or "
+            f"above --fail-on {args.fail_on}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _store_main(argv: list[str]) -> int:
     """``python -m repro store {ls,verify,gc,warm}`` -- warehouse ops."""
     parser = argparse.ArgumentParser(
@@ -764,12 +938,28 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--no-warm", action="store_true",
                         help="skip the background warmer (artifacts render "
                         "on first request instead)")
+    parser.add_argument("--profile", nargs="?", const=",".join((
+                        "build:*", "sweep:*", "serve:request")),
+                        default=None, metavar="P1,P2,...",
+                        help="enable span-scoped CPU profiling for these "
+                        "span patterns (default when given bare: "
+                        "build:*,sweep:*,serve:request) plus tracemalloc "
+                        "peaks on build spans; captures serve at "
+                        "/v1/profile")
     _add_store_argument(parser)
     _add_version_argument(parser)
     _add_scale_arguments(parser)
     args = parser.parse_args(argv)
     store = _activate_store(args, parser)
     config = _config_from_args(args, parser)
+
+    if args.profile is not None:
+        from repro.prof import enable_profiling
+
+        patterns = tuple(part for part in args.profile.split(",") if part)
+        if not patterns:
+            parser.error("--profile needs at least one span pattern")
+        enable_profiling(spans=patterns, memory=True)
 
     from repro.serve import ArtifactService, run_server
 

@@ -26,7 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Check the repo-specific determinism, cache, and "
-        "serialization invariants (REP001..REP011) with the replint "
+        "serialization invariants (REP001..REP012) with the replint "
         "AST engine.",
     )
     parser.add_argument(

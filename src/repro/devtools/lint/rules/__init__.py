@@ -1,4 +1,4 @@
-"""The replint rule set: REP001..REP011, one invariant per rule.
+"""The replint rule set: REP001..REP012, one invariant per rule.
 
 ``default_rules()`` returns fresh instances (rules accumulate per-run
 state for their cross-module passes, so instances must not be shared
@@ -14,6 +14,7 @@ from repro.devtools.lint.rules.determinism import NondeterminismRule
 from repro.devtools.lint.rules.errors import SwallowedErrorRule
 from repro.devtools.lint.rules.hotpaths import HotPathVectorizationRule
 from repro.devtools.lint.rules.ordering import SetOrderingRule
+from repro.devtools.lint.rules.profiling import ProfilerConfinementRule
 from repro.devtools.lint.rules.registry_contracts import (
     ArtifactContractRule,
     InterventionContractRule,
@@ -34,6 +35,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     AdHocRetryRule,
     CounterRegistryRule,
     ThresholdLocalityRule,
+    ProfilerConfinementRule,
 )
 
 

@@ -1,0 +1,64 @@
+"""REP012: profiler imports live in ``repro/prof/`` only.
+
+``cProfile``, ``pstats``, and ``tracemalloc`` are process-global
+instrumentation: ``sys.setprofile`` state, the tracemalloc peak
+register, measurable overhead.  One module owning them means one place
+that knows what is being captured, one nesting discipline, and build
+code that cannot accidentally ship with a profiler enabled.  Anywhere
+outside ``repro/prof/``, profiling goes through the span-capture API
+(``repro.prof.profiling`` / ``enable_profiling``) and memory
+accounting through ``repro.prof.memory`` -- the same confinement
+REP001 gives wall clocks and entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.engine import ModuleContext, Rule, Violation
+
+#: Modules only ``repro/prof/`` may import.
+PROFILER_MODULES = ("cProfile", "pstats", "tracemalloc")
+
+#: The one package profiler imports belong in.
+PROF_PACKAGE = "prof/"
+
+
+def _module_root(dotted: str) -> str:
+    return dotted.partition(".")[0]
+
+
+class ProfilerConfinementRule(Rule):
+    id = "REP012"
+    title = "profiler imports live in repro/prof/ only"
+    hint = (
+        "route CPU profiling through repro.prof (profiling() / "
+        "enable_profiling() attach cProfile captures to trace spans) "
+        "and memory accounting through repro.prof.memory; only the "
+        "prof package may import cProfile, pstats, or tracemalloc"
+    )
+
+    def want(self, ctx: ModuleContext) -> bool:
+        relpath = ctx.relpath
+        in_prof = relpath.startswith(PROF_PACKAGE) or f"/{PROF_PACKAGE}" in relpath
+        return not in_prof
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module] if node.module and node.level == 0 else []
+            else:
+                continue
+            for dotted in names:
+                root = _module_root(dotted)
+                if root in PROFILER_MODULES:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"import of {root} outside repro/prof/; span "
+                        "profiling and memory accounting go through "
+                        "the repro.prof API",
+                    )

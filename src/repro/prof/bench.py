@@ -1,0 +1,243 @@
+"""The performance-history sentinel: per-phase drift over bench runs.
+
+``benchmarks/perf_smoke.py`` and ``benchmarks/serve_load.py`` append
+one schema-stamped line per run to ``benchmarks/results/
+BENCH_history.jsonl``; this module loads that history, groups runs by
+``(kind, config)`` so different scales never share a baseline, and
+feeds each phase's series through the sentinel's trailing-baseline
+detector (:func:`repro.sentinel.detect.detect_series`, thresholds from
+:class:`repro.sentinel.config.SentinelConfig`).  The output replaces
+the one global "25% over reference" gate with per-phase watch /
+elevated / critical events -- and, like the adoption sentinel, an
+empty report on a healthy history is the expected outcome: silence is
+valid data.
+
+Direction matters: a duration phase deviating *up* is a regression,
+but throughput phases (anything ending in ``rps``) regress *down*.
+Both directions produce events; only regressions gate CI.
+
+The report document is fully deterministic -- it carries the records'
+own stamps but never the report time -- so running ``repro bench
+history`` twice over one history file is byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.sentinel.config import (
+    DEFAULT_SENTINEL_CONFIG,
+    SentinelConfig,
+    severity_rank,
+)
+from repro.sentinel.detect import detect_series
+from repro.sentinel.series import SignalSeries
+
+#: The history line schema this module writes and reads.
+HISTORY_SCHEMA = 1
+
+#: Default history location, relative to the repo root CI runs from.
+DEFAULT_HISTORY_PATH = Path("benchmarks") / "results" / "BENCH_history.jsonl"
+
+
+def higher_is_better(phase: str) -> bool:
+    """Throughput phases regress downward, everything else upward."""
+    return phase.endswith("rps")
+
+
+def history_record(
+    kind: str,
+    config: dict[str, Any],
+    phases: dict[str, float],
+    recorded_at: str | None = None,
+) -> dict:
+    """One appendable history line (sorted keys, schema-stamped)."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "kind": kind,
+        "recorded_at": recorded_at,
+        "config": {key: config[key] for key in sorted(config)},
+        "phases": {name: round(float(value), 4) for name, value in sorted(phases.items())},
+    }
+
+
+def append_history(path: Path, record: dict) -> None:
+    """Append one run to the history file (created on first write)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as history:
+        history.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: Path) -> tuple[list[dict], int]:
+    """All well-formed records in file order, plus the skipped count.
+
+    A corrupt or foreign-schema line is skipped, not fatal: the
+    history file is an append-only log that survives schema bumps, and
+    the report surfaces how much of it was unreadable.
+    """
+    records: list[dict] = []
+    skipped = 0
+    if not path.is_file():
+        return records, skipped
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if (
+            not isinstance(record, dict)
+            or record.get("schema") != HISTORY_SCHEMA
+            or not isinstance(record.get("phases"), dict)
+            or not isinstance(record.get("config"), dict)
+            or not isinstance(record.get("kind"), str)
+        ):
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped
+
+
+def _group_key(record: dict) -> tuple[str, str]:
+    return record["kind"], json.dumps(record["config"], sort_keys=True)
+
+
+def detect_history(
+    records: Iterable[dict],
+    config: SentinelConfig = DEFAULT_SENTINEL_CONFIG,
+    skipped: int = 0,
+) -> dict:
+    """The full history report: per-(kind, config) per-phase events.
+
+    Each phase's run series becomes a one-column
+    :class:`~repro.sentinel.series.SignalSeries` (the "day" axis is
+    the run index within its group) scanned by the sentinel detector;
+    an event is a ``regression`` when its direction is the phase's bad
+    one.  The report contains no report-time stamps -- rerunning it
+    over the same history is byte-identical.
+    """
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for record in records:
+        groups.setdefault(_group_key(record), []).append(record)
+    report_groups: list[dict] = []
+    total_events = 0
+    total_regressions = 0
+    by_severity: dict[str, int] = {}
+    worst_regression: str | None = None
+    for kind, config_key in sorted(groups):
+        group = groups[(kind, config_key)]
+        phases = sorted({name for record in group for name in record["phases"]})
+        events: list[dict] = []
+        for phase in phases:
+            runs = [
+                (index, record["phases"][phase])
+                for index, record in enumerate(group)
+                if phase in record["phases"]
+            ]
+            series = SignalSeries(
+                signal=kind,
+                days=tuple(index for index, _ in runs),
+                scopes=(phase,),
+                values=np.array(
+                    [[value] for _, value in runs], dtype=np.float64
+                ).reshape(len(runs), 1),
+            )
+            for event in detect_series(series, config):
+                regression = (
+                    event.direction == "down"
+                    if higher_is_better(phase)
+                    else event.direction == "up"
+                )
+                events.append(
+                    {
+                        "phase": phase,
+                        "run": event.day,
+                        "recorded_at": group[event.day].get("recorded_at"),
+                        "value": event.value,
+                        "baseline": event.baseline,
+                        "sigma": event.sigma,
+                        "z": event.z,
+                        "direction": event.direction,
+                        "severity": event.severity,
+                        "regression": regression,
+                    }
+                )
+        events.sort(key=lambda row: (row["phase"], row["run"]))
+        for row in events:
+            total_events += 1
+            by_severity[row["severity"]] = by_severity.get(row["severity"], 0) + 1
+            if row["regression"]:
+                total_regressions += 1
+                if worst_regression is None or severity_rank(
+                    row["severity"]
+                ) > severity_rank(worst_regression):
+                    worst_regression = row["severity"]
+        report_groups.append(
+            {
+                "kind": kind,
+                "config": json.loads(config_key),
+                "runs": len(group),
+                "phases": len(phases),
+                "events": events,
+            }
+        )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "thresholds": dataclasses.asdict(config),
+        "runs": sum(len(group) for group in groups.values()),
+        "skipped_lines": skipped,
+        "groups": report_groups,
+        "events": {
+            "total": total_events,
+            "regressions": total_regressions,
+            "by_severity": {
+                severity: by_severity[severity] for severity in sorted(by_severity)
+            },
+            "worst_regression": worst_regression,
+        },
+    }
+
+
+def worst_regression_severity(report: dict) -> str | None:
+    """The report's worst regression severity (``None`` when quiet)."""
+    return report["events"]["worst_regression"]
+
+
+def render_history_text(report: dict) -> str:
+    """The operator-facing table of one history report."""
+    from repro.util.tables import TextTable
+
+    table = TextTable(
+        ["kind", "phase", "run", "severity", "dir", "value", "baseline", "z"],
+        title="Bench history — per-phase drift vs trailing baselines",
+    )
+    for group in report["groups"]:
+        for event in group["events"]:
+            marker = "regression" if event["regression"] else "improvement"
+            table.add_row([
+                group["kind"],
+                event["phase"],
+                str(event["run"]),
+                f"{event['severity']} ({marker})",
+                event["direction"],
+                f"{event['value']:.4f}",
+                f"{event['baseline']:.4f}",
+                f"{event['z']:+.2f}",
+            ])
+    summary = report["events"]
+    lines = [table.render()]
+    lines.append(
+        f"{report['runs']} run(s) across {len(report['groups'])} group(s); "
+        f"{summary['total']} event(s), {summary['regressions']} regression(s)"
+        + (f", {report['skipped_lines']} unreadable line(s)"
+           if report["skipped_lines"] else "")
+        + "; silence is valid data"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Deterministic call trees from raw profiler stats, plus speedscope.
+
+:func:`build_call_tree` turns the caller->callee edge list a
+``cProfile.Profile.getstats()`` capture produces into one JSON call
+tree: every node is a frame reached along one call path, children sort
+by frame identity (file, line, name), and times distribute down shared
+subtrees proportionally (the classic gprof expansion).  The *structure*
+of the tree -- frames, call counts, child order -- depends only on what
+ran, never on how fast it ran: no time-based pruning, no sampling.
+That is what the determinism contract rides on: two same-seed runs of
+the same build produce byte-identical trees once the timing fields are
+projected out (:func:`tree_projection`).
+
+:func:`speedscope_document` re-exports one or more trees in the
+speedscope "sampled" profile format (https://www.speedscope.app/): each
+root-to-node path with self-time becomes one weighted sample, so the
+flamegraph's total width equals the profiled time and frame names cover
+everything the profiler measured.
+
+This module never imports ``cProfile``/``pstats`` -- it consumes the
+stats entries handed over by :mod:`repro.prof.capture`, the one module
+allowed to touch the profiler (replint REP012).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Sequence
+
+#: Hard ceiling on expanded tree nodes.  The caller->callee graph is a
+#: DAG; expanding shared subtrees under every caller can explode, so
+#: the DFS stops adding nodes past this count (deterministically -- the
+#: traversal order is structural) and marks the tree ``truncated``.
+MAX_TREE_NODES = 50_000
+
+#: Expansion depth ceiling; recursion cycles are cut earlier by the
+#: on-path check, this bounds pathological non-cyclic chains.
+MAX_TREE_DEPTH = 128
+
+#: Path prefixes collapsed out of frame file names, so trees do not
+#: embed the absolute checkout/venv location they were captured in.
+_PATH_MARKERS = ("/repro/", "/site-packages/", "/lib/python")
+
+
+def _normalize_path(path: str) -> str:
+    """A location-independent rendering of one source path."""
+    clean = path.replace("\\", "/")
+    if clean.startswith("<") or clean == "~":
+        return clean
+    for marker in _PATH_MARKERS:
+        index = clean.find(marker)
+        if index >= 0:
+            return clean[index + 1:]
+    parts = clean.rsplit("/", 2)
+    return "/".join(parts[-2:]) if len(parts) > 1 else clean
+
+
+#: ``repr`` addresses inside builtin labels (``<built-in method __new__
+#: of type object at 0x7f...>``) -- per-process noise the determinism
+#: contract must not see.
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def frame_of(code: Any) -> tuple[str, int, str]:
+    """``(file, line, name)`` of one stats-entry code object.
+
+    Mirrors ``pstats``' labeling: built-in callables arrive as plain
+    strings (no source location), Python frames as code objects.
+    """
+    if isinstance(code, str):
+        return ("~", 0, _ADDRESS_RE.sub("", code))
+    name = getattr(code, "co_qualname", None) or code.co_name
+    return (_normalize_path(code.co_filename), code.co_firstlineno, name)
+
+
+def build_call_tree(entries: Iterable[Any], duration_s: float) -> dict:
+    """One profiled span's deterministic call-tree document.
+
+    Args:
+        entries: ``Profile.getstats()`` output -- per-function records
+            with per-callee subcall stats.
+        duration_s: the owning span's measured wall time (the coverage
+            denominator).
+    """
+    # Aggregate per frame and per caller->callee edge.  Several code
+    # objects can label identically (rare; e.g. reloaded modules) --
+    # aggregation keys on the label, which is what the tree shows.
+    totals: dict[tuple, dict[str, float]] = {}
+    edges: dict[tuple, dict[tuple, dict[str, float]]] = {}
+    callees: set[tuple] = set()
+    for entry in entries:
+        frame = frame_of(entry.code)
+        stat = totals.setdefault(
+            frame, {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        stat["calls"] += entry.callcount
+        stat["total_s"] += entry.totaltime
+        stat["self_s"] += entry.inlinetime
+        out = edges.setdefault(frame, {})
+        for sub in entry.calls or ():
+            callee = frame_of(sub.code)
+            callees.add(callee)
+            edge = out.setdefault(
+                callee, {"calls": 0, "total_s": 0.0}
+            )
+            edge["calls"] += sub.callcount
+            edge["total_s"] += sub.totaltime
+    roots = sorted(frame for frame in totals if frame not in callees)
+    state = {"nodes": 0, "truncated": False}
+
+    def expand(
+        frame: tuple, calls: int, total_s: float, path: frozenset, depth: int
+    ) -> dict:
+        state["nodes"] += 1
+        file, line, name = frame
+        node: dict = {
+            "name": name,
+            "file": file,
+            "line": line,
+            "calls": int(calls),
+            "total_s": round(max(total_s, 0.0), 6),
+        }
+        children: list[dict] = []
+        frame_total = totals[frame]["total_s"]
+        # This path's share of the frame's aggregate time; children
+        # (recorded against the frame, not the path) scale by it.
+        share = total_s / frame_total if frame_total > 0 else 0.0
+        out = edges.get(frame, {})
+        on_path = path | {frame}  # includes self: direct recursion cuts too
+        child_s = 0.0
+        for callee in sorted(out):
+            if callee in on_path or depth >= MAX_TREE_DEPTH:
+                continue  # cut recursion cycles; their time stays as self
+            if state["nodes"] >= MAX_TREE_NODES:
+                state["truncated"] = True
+                break
+            edge = out[callee]
+            scaled = edge["total_s"] * share
+            children.append(
+                expand(callee, edge["calls"], scaled, on_path, depth + 1)
+            )
+            child_s += scaled
+        node["self_s"] = round(max(total_s - child_s, 0.0), 6)
+        node["children"] = children
+        return node
+
+    tree = [
+        expand(frame, totals[frame]["calls"], totals[frame]["total_s"],
+               frozenset(), 0)
+        for frame in roots
+    ]
+    profiled_s = sum(totals[frame]["total_s"] for frame in roots)
+    return {
+        "duration_s": round(max(duration_s, 0.0), 6),
+        "profiled_s": round(profiled_s, 6),
+        "coverage": round(profiled_s / duration_s, 4) if duration_s > 0 else None,
+        "functions": len(totals),
+        "nodes": state["nodes"],
+        "truncated": state["truncated"],
+        "roots": tree,
+    }
+
+
+def tree_projection(document: dict) -> dict:
+    """The timing-free projection of one call-tree document.
+
+    What the determinism test compares: frames, call counts, and
+    structure survive; every duration field (which legitimately varies
+    run to run) is dropped.
+    """
+
+    def strip(node: dict) -> dict:
+        return {
+            "name": node["name"],
+            "file": node["file"],
+            "line": node["line"],
+            "calls": node["calls"],
+            "children": [strip(child) for child in node["children"]],
+        }
+
+    return {
+        "functions": document["functions"],
+        "nodes": document["nodes"],
+        "truncated": document["truncated"],
+        "roots": [strip(root) for root in document["roots"]],
+    }
+
+
+def speedscope_document(profiles: Sequence[tuple[str, dict]]) -> dict:
+    """Speedscope file-format export of named call-tree documents.
+
+    Each tree node carrying self-time becomes one "sampled" stack
+    (root-to-node frame path) weighted by that self-time, so the sum of
+    weights reproduces the profiled time exactly.
+    """
+    frames: list[dict] = []
+    index: dict[tuple, int] = {}
+
+    def intern(node: dict) -> int:
+        key = (node["name"], node["file"], node["line"])
+        if key not in index:
+            index[key] = len(frames)
+            frames.append(
+                {"name": node["name"], "file": node["file"], "line": node["line"]}
+            )
+        return index[key]
+
+    out_profiles: list[dict] = []
+    for name, document in profiles:
+        samples: list[list[int]] = []
+        weights: list[float] = []
+
+        def walk(node: dict, stack: list[int]) -> None:
+            stack = stack + [intern(node)]
+            self_s = node["self_s"]
+            if self_s > 0 or not node["children"]:
+                samples.append(stack)
+                weights.append(round(self_s, 6))
+            for child in node["children"]:
+                walk(child, stack)
+
+        for root in document["roots"]:
+            walk(root, [])
+        total = round(sum(weights), 6)
+        out_profiles.append(
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": out_profiles,
+        "name": "repro.prof span profiles",
+        "activeProfileIndex": 0,
+        "exporter": "repro.prof",
+    }

@@ -72,6 +72,7 @@ ENDPOINTS = (
     "/v1/artifact/<name>",
     "/v1/contrast/<country>",
     "/v1/events",
+    "/v1/profile",
     "/v1/trace",
 )
 
@@ -129,6 +130,8 @@ def endpoint_label(path: str) -> str:
         return "/v1/contrast/<country>"
     if path in ("/v1/events", "/v1/events/"):
         return "/v1/events"
+    if path in ("/v1/profile", "/v1/profile/"):
+        return "/v1/profile"
     if path in ("/v1/trace", "/v1/trace/"):
         return "/v1/trace"
     return "<other>"
@@ -410,6 +413,8 @@ class ArtifactService:
             return self._metrics_endpoint(query)
         if path in ("/v1/trace", "/v1/trace/"):
             return self._trace_endpoint(query)
+        if path in ("/v1/profile", "/v1/profile/"):
+            return self._profile_endpoint(query)
         if path in ("/v1/artifacts", "/v1/artifacts/"):
             return self._listing()
         if path.startswith("/v1/artifact/"):
@@ -472,6 +477,7 @@ class ArtifactService:
         (breakers, retry counters, pool fallbacks/resubmissions, and
         how often this process served stale or shed load).
         """
+        from repro.prof import build_peaks, process_document
         from repro.resilience.retry import RETRY_COUNTS
         from repro.util.procpool import fallback_contexts, resubmitted_shards
 
@@ -496,10 +502,34 @@ class ArtifactService:
             # replint: allow[REP007] health path: gauges simply stay at their last values
             except Exception:  # pragma: no cover - defensive
                 pass
+        # Per-layer bytes on disk vs peak heap while building: the
+        # store side comes from the warehouse index, the heap side from
+        # build_peak_bytes (populated only when memory profiling ran).
+        store_layer_bytes: dict[str, int] = {}
+        if self.store is not None:
+            try:
+                for entry in self.store.entries():
+                    if entry.kind == "layer":
+                        store_layer_bytes[entry.name] = (
+                            store_layer_bytes.get(entry.name, 0)
+                            + entry.total_bytes
+                        )
+            # replint: allow[REP007] health path: the breakdown simply omits the store side
+            except Exception:  # pragma: no cover - defensive
+                pass
+        heap_peaks = build_peaks()
+        memory_breakdown = {
+            layer: {
+                "store_bytes": store_layer_bytes.get(layer),
+                "build_peak_bytes": heap_peaks.get(layer),
+            }
+            for layer in sorted({*store_layer_bytes, *heap_peaks})
+        }
+        # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
+        uptime_s = round(time.time() - self.started_at, 3)
         return {
             "status": "degraded" if degraded else "ok",
-            # replint: allow[REP001] serving telemetry (healthz uptime), never artifact data
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": uptime_s,
             "requests": self.requests,
             "artifacts": len(registry.names()),
             "hot_cache": hot,
@@ -523,6 +553,8 @@ class ArtifactService:
                     ],
                 },
             },
+            "process": {**process_document(), "uptime_s": uptime_s},
+            "memory": memory_breakdown,
             "telemetry": {
                 "degraded_total": {
                     key[0]: int(value)
@@ -532,6 +564,7 @@ class ArtifactService:
                 "store_gauges": store_gauges,
                 "metrics": "/metrics",
                 "trace": "/v1/trace",
+                "profile": "/v1/profile",
             },
             "config": jsonify(dataclasses.asdict(self.config)),
         }
@@ -540,6 +573,9 @@ class ArtifactService:
         """``GET /metrics``: the whole registry, Prometheus text format."""
         if query:
             raise ServiceError(400, {"error": "/metrics takes no parameters"})
+        from repro.prof import refresh_process_gauges
+
+        refresh_process_gauges()
         with self._hot_lock:
             _HOT_ENTRIES.set(len(self._hot))
         if self.store is not None:
@@ -580,6 +616,85 @@ class ArtifactService:
             "count": len(spans),
             "spans": [span_tree(node) for node in spans],
         }
+        return dataclasses.replace(_Encoded.from_document(document), cache=False)
+
+    def _profile_endpoint(self, query: str) -> _Encoded:
+        """``GET /v1/profile?span=<pattern>&format=...&last=N``.
+
+        The span-profiling surface: every recent span carrying a
+        cProfile capture (the server must run with profiling enabled
+        -- ``repro serve --profile`` -- or nothing matches and the
+        empty document is the valid answer).  ``format=tree`` (default)
+        returns the compact call-tree documents; ``format=speedscope``
+        returns one speedscope file ready to load in the UI.  Always
+        uncacheable: every request observes the live span ring.
+        """
+        from repro.prof import profiled_spans, profiling_enabled, speedscope_document
+
+        span_filter: str | None = None
+        fmt = "tree"
+        last: int | None = None
+        for param, raw in parse_qsl(query, keep_blank_values=True):
+            if param == "span":
+                if not raw:
+                    raise ServiceError(
+                        400, {"error": "parameter 'span' must not be empty"}
+                    )
+                span_filter = raw
+            elif param == "format":
+                if raw not in ("tree", "speedscope"):
+                    raise ServiceError(
+                        400,
+                        {
+                            "error": f"unknown format {raw!r}",
+                            "known": ["tree", "speedscope"],
+                        },
+                    )
+                fmt = raw
+            elif param == "last":
+                try:
+                    last = int(raw)
+                except ValueError:
+                    raise ServiceError(
+                        400,
+                        {"error": f"parameter 'last' needs an integer, got {raw!r}"},
+                    ) from None
+                if last < 0:
+                    raise ServiceError(400, {"error": "'last' must be >= 0"})
+            else:
+                raise ServiceError(
+                    400,
+                    {
+                        "error": f"unknown parameter {param!r}",
+                        "known": ["span", "format", "last"],
+                    },
+                )
+        captured = profiled_spans(recent_spans(last), span_filter)
+        if fmt == "speedscope":
+            document = speedscope_document(
+                [(node.name, node.profile) for node in captured]
+            )
+        else:
+            config = profiling_enabled()
+            document = {
+                "span": span_filter,
+                "last": last,
+                "count": len(captured),
+                "profiling": {
+                    "enabled": config is not None,
+                    "spans": list(config.spans) if config is not None else [],
+                },
+                "profiles": [
+                    {
+                        "span": node.name,
+                        "labels": dict(sorted(node.labels.items())),
+                        "duration_ms": round(node.duration_s * 1000.0, 3),
+                        "peak_bytes": node.peak_bytes,
+                        "profile": node.profile,
+                    }
+                    for node in captured
+                ],
+            }
         return dataclasses.replace(_Encoded.from_document(document), cache=False)
 
     def _listing(self) -> _Encoded:

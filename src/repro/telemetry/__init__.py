@@ -30,6 +30,7 @@ from repro.telemetry.trace import (
     current_span,
     recent_spans,
     reset_trace,
+    set_profile_hook,
     span,
     span_tree,
     telemetry_document,
@@ -50,6 +51,7 @@ __all__ = [
     "current_span",
     "recent_spans",
     "reset_trace",
+    "set_profile_hook",
     "span",
     "span_tree",
     "telemetry_document",

@@ -48,6 +48,19 @@ class _Stack(threading.local):
 
 _STACK = _Stack()
 
+#: The installed span-profiling hook (``repro.prof.capture`` object
+#: with ``start(span) -> token|None`` / ``stop(span, token)``), or
+#: ``None`` -- the default, costing one attribute check per span.  The
+#: indirection keeps this module free of profiler imports (REP012):
+#: the tracer knows *that* a span can be profiled, never *how*.
+_PROFILE_HOOK: Any = None
+
+
+def set_profile_hook(hook: Any) -> None:
+    """Install (or with ``None`` remove) the span-profiling hook."""
+    global _PROFILE_HOOK
+    _PROFILE_HOOK = hook
+
 
 @dataclass
 class Span:
@@ -59,6 +72,11 @@ class Span:
     duration_s: float = 0.0
     children: list["Span"] = field(default_factory=list)
     discarded: bool = False
+    #: Call-tree document attached by ``repro.prof`` when span-scoped
+    #: CPU profiling is enabled and this span matched a pattern.
+    profile: dict | None = None
+    #: tracemalloc peak of this span's window (memory profiling only).
+    peak_bytes: int | None = None
 
     def discard(self) -> None:
         """Drop this span (and its subtree) instead of recording it.
@@ -83,12 +101,16 @@ def span(name: str, **labels: Any) -> Iterator[Span]:
     (``sp.labels["status"] = "200"``) or :meth:`~Span.discard` it.
     """
     node = Span(name=name, labels={k: str(v) for k, v in labels.items()})
+    hook = _PROFILE_HOOK
+    token = hook.start(node) if hook is not None else None
     node.started = time.perf_counter()
     _STACK.spans.append(node)
     try:
         yield node
     finally:
         node.duration_s = time.perf_counter() - node.started
+        if token is not None:
+            hook.stop(node, token)
         _STACK.spans.pop()
         if not node.discarded:
             if _STACK.spans:
@@ -122,14 +144,24 @@ def reset_trace() -> None:
 
 
 def span_tree(node: Span) -> dict:
-    """The compact JSON tree of one span (the ``/v1/trace`` wire shape)."""
-    return {
+    """The compact JSON tree of one span (the ``/v1/trace`` wire shape).
+
+    ``peak_bytes`` appears only on spans that ran under memory
+    profiling; profiled spans carry a ``profiled`` marker (the capture
+    itself serves at ``/v1/profile``, keeping trace bodies lean).
+    """
+    tree = {
         "name": node.name,
         "duration_ms": round(node.duration_s * 1000.0, 3),
         "self_ms": round(node.self_s * 1000.0, 3),
         "labels": dict(sorted(node.labels.items())),
         "children": [span_tree(child) for child in node.children],
     }
+    if node.peak_bytes is not None:
+        tree["peak_bytes"] = node.peak_bytes
+    if node.profile is not None:
+        tree["profiled"] = True
+    return tree
 
 
 def chrome_trace(spans: list[Span] | None = None) -> dict:

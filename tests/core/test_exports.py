@@ -20,6 +20,7 @@ AGGREGATORS = [
     "repro.serve",
     "repro.resilience",
     "repro.telemetry",
+    "repro.prof",
 ]
 
 

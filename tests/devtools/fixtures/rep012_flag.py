@@ -1,0 +1,13 @@
+"""REP012 flag fixture: profiler imports outside repro/prof/."""
+
+import cProfile  # REP012: profiler import outside prof/
+import tracemalloc  # REP012: tracemalloc import outside prof/
+from pstats import Stats  # REP012: pstats import outside prof/
+
+
+def profile_a_build():
+    profiler = cProfile.Profile()
+    tracemalloc.start()
+    profiler.enable()
+    profiler.disable()
+    return Stats(profiler)

@@ -1,0 +1,15 @@
+"""REP012 pass fixture: the prof package may import the profiler, and
+code elsewhere may use the repro.prof API (no direct profiler import)."""
+
+import cProfile
+import pstats
+import tracemalloc
+
+
+def capture():
+    profiler = cProfile.Profile()
+    tracemalloc.start()
+    profiler.enable()
+    profiler.disable()
+    tracemalloc.stop()
+    return pstats.Stats(profiler)

@@ -1,0 +1,12 @@
+"""REP012 pass fixture: serving code uses the repro.prof API instead of
+importing the profiler directly."""
+
+from repro.prof import profiled_spans, profiling
+from repro.telemetry import recent_spans, span
+
+
+def profiled_request():
+    with profiling(spans=("serve:request",)):
+        with span("serve:request"):
+            pass
+    return profiled_spans(recent_spans())

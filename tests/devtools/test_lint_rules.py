@@ -29,6 +29,7 @@ FLAG_CASES = [
     ("REP009", "rep009_flag.py", 4),
     ("REP010", "rep010_flag.py", 3),
     ("REP011", "rep011_flag", 3),
+    ("REP012", "rep012_flag.py", 3),
 ]
 
 PASS_CASES = [
@@ -43,6 +44,7 @@ PASS_CASES = [
     ("REP009", "rep009_pass"),
     ("REP010", "rep010_pass.py"),
     ("REP011", "rep011_pass"),
+    ("REP012", "rep012_pass"),
 ]
 
 

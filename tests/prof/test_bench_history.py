@@ -1,0 +1,192 @@
+"""The bench-history sentinel: records, grouping, verdicts, golden."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.prof import (
+    HISTORY_SCHEMA,
+    append_history,
+    detect_history,
+    higher_is_better,
+    history_record,
+    load_history,
+    render_history_text,
+    worst_regression_severity,
+)
+
+GOLDEN = Path(__file__).parents[1] / "api" / "golden"
+
+CONFIG = {"days": 14, "sites": 300, "seed": 42}
+
+
+def runs(values_by_phase, kind="perf_smoke"):
+    """One record per run index, phases zipped from parallel series."""
+    length = len(next(iter(values_by_phase.values())))
+    return [
+        history_record(
+            kind,
+            CONFIG,
+            {phase: series[index] for phase, series in values_by_phase.items()},
+            recorded_at=f"2026-08-0{index + 1}T00:00:00Z",
+        )
+        for index in range(length)
+    ]
+
+
+class TestRecords:
+    def test_record_is_schema_stamped_and_sorted(self):
+        record = history_record(
+            "perf_smoke", {"sites": 300, "days": 14}, {"b": 2.0, "a": 1.23456}
+        )
+        assert record["schema"] == HISTORY_SCHEMA
+        assert list(record["config"]) == ["days", "sites"]
+        assert record["phases"] == {"a": 1.2346, "b": 2.0}  # 4dp
+
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        first = history_record("perf_smoke", CONFIG, {"x": 1.0})
+        second = history_record("serve_load", CONFIG, {"y": 2.0})
+        append_history(path, first)
+        append_history(path, second)
+        records, skipped = load_history(path)
+        assert records == [first, second]
+        assert skipped == 0
+
+    def test_corrupt_and_foreign_lines_skip_not_crash(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, history_record("perf_smoke", CONFIG, {"x": 1.0}))
+        with path.open("a") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema": 999, "phases": {}}\n')
+            handle.write("\n")  # blank lines are not corruption
+        records, skipped = load_history(path)
+        assert len(records) == 1
+        assert skipped == 2
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_direction_flips_for_throughput_phases(self):
+        assert higher_is_better("serve:cached_rps")
+        assert not higher_is_better("build:traffic")
+        assert not higher_is_better("serve:cached_p99_ms")
+
+
+class TestDetect:
+    def test_flat_history_is_silent(self):
+        report = detect_history(runs({"build:traffic": [10.0] * 6}))
+        assert report["events"]["total"] == 0
+        assert worst_regression_severity(report) is None
+        assert "silence is valid data" in render_history_text(report)
+
+    def test_duration_spike_is_a_critical_regression(self):
+        report = detect_history(
+            runs({"build:traffic": [10.0, 10.0, 10.0, 10.0, 20.0]})
+        )
+        (event,) = report["groups"][0]["events"]
+        assert event["phase"] == "build:traffic"
+        assert event["run"] == 4
+        assert event["direction"] == "up"
+        assert event["severity"] == "critical"
+        assert event["regression"] is True
+        assert worst_regression_severity(report) == "critical"
+
+    def test_throughput_drop_regresses_but_gain_improves(self):
+        drop = detect_history(
+            runs({"serve:cached_rps": [1000.0, 1000.0, 1000.0, 1000.0, 500.0]})
+        )
+        (event,) = drop["groups"][0]["events"]
+        assert (event["direction"], event["regression"]) == ("down", True)
+        gain = detect_history(
+            runs({"serve:cached_rps": [1000.0, 1000.0, 1000.0, 1000.0, 2000.0]})
+        )
+        (event,) = gain["groups"][0]["events"]
+        assert (event["direction"], event["regression"]) == ("up", False)
+        assert worst_regression_severity(gain) is None
+        assert "improvement" in render_history_text(gain)
+
+    def test_different_configs_never_share_a_baseline(self):
+        # Four fast runs at one scale then one slow run at another:
+        # with a shared baseline the slow run would fire critical.
+        fast = runs({"total:wall": [10.0] * 4})
+        other = history_record("perf_smoke", {**CONFIG, "days": 99},
+                               {"total:wall": 20.0})
+        report = detect_history([*fast, other])
+        assert len(report["groups"]) == 2
+        assert report["events"]["total"] == 0
+
+    def test_kinds_never_share_a_baseline(self):
+        mixed = [
+            *runs({"total:wall": [10.0] * 4}, kind="perf_smoke"),
+            history_record("serve_load", CONFIG, {"total:wall": 20.0}),
+        ]
+        report = detect_history(mixed)
+        assert report["events"]["total"] == 0
+
+    def test_warmup_runs_never_fire(self):
+        # min_history trailing-baseline warm-up: too-short series are
+        # silent even when wildly different.
+        report = detect_history(runs({"build:traffic": [1.0, 50.0]}))
+        assert report["events"]["total"] == 0
+
+    def test_report_is_deterministic_and_stamp_free(self):
+        records = runs(
+            {"build:traffic": [10.0, 10.0, 10.0, 10.0, 20.0],
+             "serve:cached_rps": [1000.0, 990.0, 1010.0, 1000.0, 400.0]}
+        )
+        first = json.dumps(detect_history(records), sort_keys=True)
+        second = json.dumps(detect_history(records), sort_keys=True)
+        assert first == second
+
+
+class TestGolden:
+    def test_report_matches_golden_byte_for_byte(self):
+        """The whole report document, pinned: it must carry no run-time
+        stamps, so the golden is the exact bytes, not just a schema."""
+        records = runs(
+            {
+                "build:traffic": [10.0, 10.1, 9.9, 10.0, 20.0],
+                "build:census": [5.0, 5.0, 5.0, 5.0, 5.0],
+                "serve:cached_rps": [1000.0, 1005.0, 995.0, 1000.0, 400.0],
+            }
+        )
+        report = detect_history(records, skipped=1)
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        golden_path = GOLDEN / "bench_history.json"
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN.mkdir(exist_ok=True)
+            golden_path.write_text(text)
+        assert golden_path.is_file(), (
+            "missing golden tests/api/golden/bench_history.json; generate "
+            "it with REPRO_UPDATE_GOLDEN=1"
+        )
+        assert text == golden_path.read_text(), (
+            "the bench-history report drifted from tests/api/golden/"
+            "bench_history.json; if intentional, regenerate with "
+            "REPRO_UPDATE_GOLDEN=1 and commit the diff"
+        )
+
+
+class TestSeededHistory:
+    def test_committed_history_file_loads_clean_and_quiet(self):
+        path = Path(__file__).parents[2] / "benchmarks" / "results" / \
+            "BENCH_history.jsonl"
+        records, skipped = load_history(path)
+        assert records, "seed history missing or unreadable"
+        assert skipped == 0
+        report = detect_history(records, skipped=skipped)
+        # One seeded run cannot clear min_history: byte-identical,
+        # event-free reports are the acceptance contract.
+        assert report["events"]["total"] == 0
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            detect_history(records, skipped=skipped), sort_keys=True
+        )
+
+
+@pytest.mark.parametrize("phase", ["total:wall", "serve:revalidate_rps"])
+def test_round_trip_keeps_four_decimals(phase):
+    record = history_record("perf_smoke", CONFIG, {phase: 1.23456789})
+    assert record["phases"][phase] == 1.2346

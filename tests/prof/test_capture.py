@@ -1,0 +1,197 @@
+"""Span-scoped capture: patterns, one-per-thread, memory, off-path cost."""
+
+import time
+
+import pytest
+
+from repro.prof import (
+    DEFAULT_MEMORY_SPANS,
+    DEFAULT_SPANS,
+    build_peaks,
+    disable_profiling,
+    enable_profiling,
+    match_span,
+    profiled_spans,
+    profiling,
+    profiling_enabled,
+)
+from repro.telemetry import recent_spans, reset_trace, span
+from repro.telemetry.trace import _PROFILE_HOOK
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    disable_profiling()
+    reset_trace()
+    yield
+    disable_profiling()
+    reset_trace()
+
+
+def busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        ("name", "patterns", "matches"),
+        [
+            ("build:traffic", ("build:*",), True),
+            ("build:traffic", ("build:traffic",), True),
+            ("build:traffic", ("serve:request",), False),
+            ("serve:request", DEFAULT_SPANS, True),
+            ("artifact:table1", DEFAULT_SPANS, False),
+            ("anything", ("*",), True),
+        ],
+    )
+    def test_match_span(self, name, patterns, matches):
+        assert match_span(name, patterns) is matches
+
+
+class TestCapture:
+    def test_matching_span_gets_a_call_tree(self):
+        with profiling(spans=("work:*",)):
+            with span("work:one") as node:
+                busy()
+        assert node.profile is not None
+        doc = node.profile
+        assert set(doc) >= {"duration_s", "coverage", "functions", "roots"}
+        assert doc["functions"] > 0
+        assert doc["roots"]
+
+        def names(node):
+            yield node["name"]
+            for child in node["children"]:
+                yield from names(child)
+
+        everywhere = {
+            name for root in doc["roots"] for name in names(root)
+        }
+        assert any("busy" in name for name in everywhere)
+
+    def test_non_matching_span_stays_plain(self):
+        with profiling(spans=("build:*",)):
+            with span("artifact:table1") as node:
+                busy()
+        assert node.profile is None
+        assert node.peak_bytes is None
+
+    def test_nested_matching_spans_capture_once(self):
+        # sys.setprofile is per-thread: the outer capture already sees
+        # the inner span's frames, so the inner span must not profile.
+        with profiling(spans=("work:*",)):
+            with span("work:outer") as outer:
+                with span("work:inner") as inner:
+                    busy()
+        assert outer.profile is not None
+        assert inner.profile is None
+
+    def test_sequential_spans_each_capture(self):
+        with profiling(spans=("work:*",)):
+            with span("work:a") as a:
+                busy()
+            with span("work:b") as b:
+                busy()
+        assert a.profile is not None
+        assert b.profile is not None
+
+    def test_profiled_spans_walks_and_filters(self):
+        with profiling(spans=("work:*",)):
+            with span("outer"):
+                with span("work:a"):
+                    busy()
+                with span("work:b"):
+                    busy()
+        found = profiled_spans(recent_spans())
+        assert [node.name for node in found] == ["work:a", "work:b"]
+        only_a = profiled_spans(recent_spans(), "work:a")
+        assert [node.name for node in only_a] == ["work:a"]
+
+
+class TestMemoryCapture:
+    def test_memory_span_records_peak_bytes(self):
+        with profiling(spans=(), memory_spans=("mem:*",)):
+            with span("mem:alloc") as node:
+                blob = bytearray(4_000_000)
+                del blob
+        assert node.peak_bytes is not None
+        assert node.peak_bytes >= 4_000_000
+
+    def test_inner_peak_folds_into_the_outer_span(self):
+        # The peak register is process-global and reset per span; the
+        # outer span must still see the inner allocation as its own.
+        with profiling(spans=(), memory_spans=("mem:*",)):
+            with span("mem:outer") as outer:
+                with span("mem:inner") as inner:
+                    blob = bytearray(4_000_000)
+                    del blob
+        assert inner.peak_bytes >= 4_000_000
+        assert outer.peak_bytes >= inner.peak_bytes
+
+    def test_build_span_publishes_the_layer_gauge(self):
+        with profiling(spans=(), memory=True):
+            assert profiling_enabled().memory_spans == DEFAULT_MEMORY_SPANS
+            with span("build:proftest", layer="proftest"):
+                blob = bytearray(1_000_000)
+                del blob
+        assert build_peaks().get("proftest", 0) >= 1_000_000
+
+
+class TestEnableDisable:
+    def test_disabled_is_the_default_and_uninstalls(self):
+        assert profiling_enabled() is None
+        enable_profiling(spans=("x",))
+        assert profiling_enabled().spans == ("x",)
+        disable_profiling()
+        assert profiling_enabled() is None
+        from repro.telemetry import trace as trace_mod
+
+        assert trace_mod._PROFILE_HOOK is None
+
+    def test_module_default_hook_is_none(self):
+        # The import-time default: no hook, no profiler anywhere near
+        # the span fast path (REP012 keeps the imports out too).
+        assert _PROFILE_HOOK is None
+
+    def test_disabled_overhead_is_one_none_check(self):
+        # Timing 2% deltas is hopeless on shared runners; pin the
+        # mechanism instead (no hook -> zero hook calls) plus a very
+        # loose wall-clock sanity bound.
+        calls = {"start": 0, "stop": 0}
+
+        class Counting:
+            def start(self, node):
+                calls["start"] += 1
+                return {}
+
+            def stop(self, node, token):
+                calls["stop"] += 1
+
+        from repro.telemetry.trace import set_profile_hook
+
+        set_profile_hook(Counting())
+        with span("probe"):
+            pass
+        set_profile_hook(None)
+        with span("probe"):
+            pass
+        assert calls == {"start": 1, "stop": 1}
+
+        def run_spans(n=300):
+            start = time.perf_counter()
+            for _ in range(n):
+                with span("overhead:probe"):
+                    pass
+            return time.perf_counter() - start
+
+        run_spans(50)  # warm-up
+        baseline = min(run_spans() for _ in range(3))
+        enable_profiling(spans=("never:matches",))
+        try:
+            hooked = min(run_spans() for _ in range(3))
+        finally:
+            disable_profiling()
+        # The hook exists but matches nothing: one dict/None check per
+        # span.  Generous 2x bound -- this guards against accidentally
+        # profiling everything, not against scheduler noise.
+        assert hooked < baseline * 2 + 0.01

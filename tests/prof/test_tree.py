@@ -1,0 +1,199 @@
+"""Call-tree construction: determinism, expansion, speedscope export."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.prof import tree as tree_mod
+from repro.prof.tree import (
+    build_call_tree,
+    frame_of,
+    speedscope_document,
+    tree_projection,
+)
+
+
+def code(filename, lineno, name):
+    return SimpleNamespace(
+        co_filename=filename, co_firstlineno=lineno, co_name=name,
+        co_qualname=name,
+    )
+
+
+def entry(code_obj, callcount, totaltime, inlinetime, calls=()):
+    return SimpleNamespace(
+        code=code_obj, callcount=callcount, totaltime=totaltime,
+        inlinetime=inlinetime, calls=list(calls),
+    )
+
+
+def sub(code_obj, callcount, totaltime):
+    return SimpleNamespace(code=code_obj, callcount=callcount,
+                           totaltime=totaltime)
+
+
+A = code("/checkout/src/repro/api/session.py", 10, "build")
+B = code("/checkout/src/repro/flowmon/frame.py", 20, "reduce")
+C = code("/checkout/src/repro/util/rng.py", 30, "substream")
+
+
+def simple_entries():
+    """A calls B twice; B calls C once; C is a leaf."""
+    return [
+        entry(A, 1, 1.0, 0.4, [sub(B, 2, 0.6)]),
+        entry(B, 2, 0.6, 0.4, [sub(C, 1, 0.2)]),
+        entry(C, 1, 0.2, 0.2),
+    ]
+
+
+class TestFrames:
+    def test_builtin_string_code(self):
+        assert frame_of("<built-in method len>") == (
+            "~", 0, "<built-in method len>"
+        )
+
+    def test_repo_paths_lose_the_checkout_prefix(self):
+        file, line, name = frame_of(A)
+        assert file == "repro/api/session.py"
+        assert (line, name) == (10, "build")
+
+    def test_site_packages_paths_normalize(self):
+        file, _, _ = frame_of(
+            code("/venv/lib/python3.12/site-packages/numpy/core/x.py", 1, "f")
+        )
+        assert file == "site-packages/numpy/core/x.py"
+
+    def test_foreign_paths_keep_two_components(self):
+        file, _, _ = frame_of(code("/opt/other/pkg/mod.py", 1, "f"))
+        assert file == "pkg/mod.py"
+
+    def test_builtin_labels_lose_process_addresses(self):
+        # Bound builtins repr their owner's address -- per-process
+        # noise that would break run-to-run tree identity.
+        _, _, name = frame_of(
+            "<built-in method __new__ of type object at 0x7f21f1b29510>"
+        )
+        assert name == "<built-in method __new__ of type object>"
+
+
+class TestBuildCallTree:
+    def test_structure_and_times(self):
+        doc = build_call_tree(simple_entries(), duration_s=1.0)
+        assert doc["functions"] == 3
+        assert doc["truncated"] is False
+        (root,) = doc["roots"]
+        assert (root["name"], root["calls"]) == ("build", 1)
+        assert root["total_s"] == pytest.approx(1.0)
+        assert root["self_s"] == pytest.approx(0.4)
+        (child,) = root["children"]
+        assert (child["name"], child["calls"]) == ("reduce", 2)
+        (leaf,) = child["children"]
+        assert (leaf["name"], leaf["children"]) == ("substream", [])
+
+    def test_coverage_is_root_time_over_duration(self):
+        doc = build_call_tree(simple_entries(), duration_s=2.0)
+        assert doc["profiled_s"] == pytest.approx(1.0)
+        assert doc["coverage"] == pytest.approx(0.5)
+        assert build_call_tree([], 0.0)["coverage"] is None
+
+    def test_children_sort_by_frame_not_by_time(self):
+        fast = code("/x/repro/a.py", 1, "fast")
+        slow = code("/x/repro/z.py", 1, "slow")
+        entries = [
+            entry(A, 1, 1.0, 0.1, [sub(slow, 1, 0.6), sub(fast, 1, 0.3)]),
+            entry(fast, 1, 0.3, 0.3),
+            entry(slow, 1, 0.6, 0.6),
+        ]
+        doc = build_call_tree(entries, 1.0)
+        names = [child["name"] for child in doc["roots"][0]["children"]]
+        assert names == ["fast", "slow"]  # repro/a.py < repro/z.py
+
+    def test_shared_subtree_time_distributes_by_share(self):
+        # A and B both call C; C's aggregate time splits 3:1.
+        a = code("/x/repro/a.py", 1, "a")
+        b = code("/x/repro/b.py", 1, "b")
+        entries = [
+            entry(a, 1, 0.75, 0.0, [sub(C, 3, 0.3)]),
+            entry(b, 1, 0.25, 0.0, [sub(C, 1, 0.1)]),
+            entry(C, 4, 0.4, 0.4),
+        ]
+        doc = build_call_tree(entries, 1.0)
+        by_name = {root["name"]: root for root in doc["roots"]}
+        assert by_name["a"]["children"][0]["total_s"] == pytest.approx(0.3)
+        assert by_name["b"]["children"][0]["total_s"] == pytest.approx(0.1)
+
+    def test_recursion_cycles_cut_and_time_stays_self(self):
+        rec = code("/x/repro/r.py", 5, "recurse")
+        entries = [
+            entry(A, 1, 1.0, 0.0, [sub(rec, 1, 1.0)]),
+            entry(rec, 5, 1.0, 1.0, [sub(rec, 4, 0.8)]),
+        ]
+        doc = build_call_tree(entries, 1.0)
+        (root,) = doc["roots"]
+        (child,) = root["children"]
+        assert child["name"] == "recurse"
+        assert child["children"] == []  # the self-edge is cut
+        assert child["self_s"] == pytest.approx(1.0)
+
+    def test_node_cap_truncates_deterministically(self, monkeypatch):
+        monkeypatch.setattr(tree_mod, "MAX_TREE_NODES", 2)
+        first = build_call_tree(simple_entries(), 1.0)
+        second = build_call_tree(simple_entries(), 1.0)
+        assert first["truncated"] is True
+        assert first["nodes"] == 2
+        assert tree_projection(first) == tree_projection(second)
+
+
+class TestProjection:
+    def test_strips_every_timing_field(self):
+        projected = tree_projection(build_call_tree(simple_entries(), 1.0))
+        assert set(projected) == {"functions", "nodes", "truncated", "roots"}
+
+        def walk(node):
+            assert set(node) == {"name", "file", "line", "calls", "children"}
+            for child in node["children"]:
+                walk(child)
+
+        for root in projected["roots"]:
+            walk(root)
+
+    def test_identical_structure_different_times_projects_equal(self):
+        slow = [
+            entry(A, 1, 2.0, 0.8, [sub(B, 2, 1.2)]),
+            entry(B, 2, 1.2, 0.8, [sub(C, 1, 0.4)]),
+            entry(C, 1, 0.4, 0.4),
+        ]
+        fast = build_call_tree(simple_entries(), 1.0)
+        assert tree_projection(fast) == tree_projection(
+            build_call_tree(slow, 2.0)
+        )
+
+
+class TestSpeedscope:
+    def test_document_is_valid_speedscope(self):
+        doc = build_call_tree(simple_entries(), 1.0)
+        out = speedscope_document([("build:traffic", doc)])
+        assert out["$schema"].startswith("https://www.speedscope.app/")
+        frames = out["shared"]["frames"]
+        assert {frame["name"] for frame in frames} == {
+            "build", "reduce", "substream"
+        }
+        (profile,) = out["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["name"] == "build:traffic"
+        assert len(profile["samples"]) == len(profile["weights"])
+        for stack in profile["samples"]:
+            assert stack  # never empty
+            assert all(0 <= index < len(frames) for index in stack)
+
+    def test_weights_reproduce_the_profiled_time(self):
+        doc = build_call_tree(simple_entries(), 1.0)
+        (profile,) = speedscope_document([("p", doc)])["profiles"]
+        assert sum(profile["weights"]) == pytest.approx(doc["profiled_s"])
+        assert profile["endValue"] == pytest.approx(doc["profiled_s"])
+
+    def test_frames_interned_across_profiles(self):
+        doc = build_call_tree(simple_entries(), 1.0)
+        out = speedscope_document([("p1", doc), ("p2", doc)])
+        assert len(out["profiles"]) == 2
+        assert len(out["shared"]["frames"]) == 3  # shared, not duplicated

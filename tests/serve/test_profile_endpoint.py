@@ -1,0 +1,224 @@
+"""``/v1/profile``: captures, formats, validation, wire schema."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import StudyConfig, clear_caches
+from repro.prof import disable_profiling, enable_profiling
+from repro.serve import ArtifactService
+from repro.store import set_store
+from repro.telemetry import reset_trace
+
+CONFIG = StudyConfig(days=6, sites=140, probe_targets=70, parallel=False)
+
+GOLDEN = Path(__file__).parents[1] / "api" / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store():
+    set_store(None)
+    yield
+    set_store(None)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A service that handled one *profiled* request."""
+    clear_caches()
+    reset_trace()
+    service = ArtifactService(CONFIG, store=None)
+    enable_profiling(spans=("serve:request",))
+    try:
+        assert service.handle("GET", "/v1/artifact/contrast").status == 200
+    finally:
+        disable_profiling()
+    return service
+
+
+class TestProfileEndpoint:
+    def test_captured_request_shows_up(self, service):
+        response = service.handle("GET", "/v1/profile?span=serve:request")
+        assert response.status == 200
+        document = response.json()
+        assert document["count"] >= 1
+        for profile in document["profiles"]:
+            assert profile["span"] == "serve:request"
+            assert profile["duration_ms"] > 0
+            tree = profile["profile"]
+            assert tree["functions"] > 0
+            assert tree["roots"]
+
+    def test_profiling_state_reflects_the_hook(self, service):
+        document = service.handle("GET", "/v1/profile").json()
+        assert document["profiling"] == {"enabled": False, "spans": []}
+        enable_profiling(spans=("serve:request",))
+        try:
+            live = service.handle("GET", "/v1/profile").json()
+        finally:
+            disable_profiling()
+        assert live["profiling"] == {
+            "enabled": True, "spans": ["serve:request"],
+        }
+
+    def test_no_matching_span_is_an_empty_valid_200(self, service):
+        document = service.handle(
+            "GET", "/v1/profile?span=build:nothing"
+        ).json()
+        assert document["count"] == 0
+        assert document["profiles"] == []
+
+    def test_speedscope_format(self, service):
+        document = service.handle(
+            "GET", "/v1/profile?format=speedscope"
+        ).json()
+        assert document["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        frames = document["shared"]["frames"]
+        for profile in document["profiles"]:
+            assert profile["type"] == "sampled"
+            for stack in profile["samples"]:
+                assert all(0 <= index < len(frames) for index in stack)
+
+    def test_responses_are_never_cached(self, service):
+        # Same contract as /v1/trace: the document observes the live
+        # span ring, so no ETag, no revalidation, no hot-cache entry.
+        response = service.handle("GET", "/v1/profile")
+        assert response.status == 200
+        assert response.header("ETag") is None
+        assert response.header("Cache-Control") is None
+
+    def test_endpoint_is_listed_and_labeled(self, service):
+        from repro.serve.service import ENDPOINTS, endpoint_label
+
+        assert "/v1/profile" in ENDPOINTS
+        assert endpoint_label("/v1/profile") == "/v1/profile"
+        assert endpoint_label("/v1/profile/") == "/v1/profile"
+        listing = service.handle("GET", "/v1/artifacts").json()
+        assert "/v1/profile" in listing["endpoints"]
+
+
+class TestProfileValidation:
+    @pytest.mark.parametrize(
+        "query",
+        ["span=", "format=nope", "last=nope", "last=-1", "spam=x",
+         "format=TREE"],
+    )
+    def test_bad_parameters_are_400_json_not_500(self, service, query):
+        response = service.handle("GET", f"/v1/profile?{query}")
+        assert response.status == 400
+        assert "error" in response.json()
+
+    def test_unknown_format_lists_known(self, service):
+        response = service.handle("GET", "/v1/profile?format=flamegraph")
+        assert response.json()["known"] == ["tree", "speedscope"]
+
+    def test_unknown_parameter_lists_known(self, service):
+        response = service.handle("GET", "/v1/profile?spans=x")
+        assert response.json()["known"] == ["span", "format", "last"]
+
+
+class TestProfileWireSchema:
+    def test_wire_schema_matches_golden(self, service):
+        """Envelope key order, profile-entry fields, and call-tree node
+        keys, pinned."""
+        document = service.handle(
+            "GET", "/v1/profile?span=serve:request"
+        ).json()
+        assert document["count"] >= 1
+
+        def type_of(value):
+            if value is None:
+                return "null"
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, int):
+                return "int"
+            if isinstance(value, float):
+                return "float"
+            if isinstance(value, str):
+                return "str"
+            if isinstance(value, list):
+                return "array"
+            if isinstance(value, dict):
+                return "object"
+            raise TypeError(f"not a JSON value: {value!r}")  # pragma: no cover
+
+        profile_fields: dict[str, set] = {}
+        node_keys: set = set()
+        tree_keys: set = set()
+
+        def walk(node):
+            node_keys.update(node)
+            for child in node["children"]:
+                walk(child)
+
+        for profile in document["profiles"]:
+            for key, value in profile.items():
+                profile_fields.setdefault(key, set()).add(type_of(value))
+            tree_keys.update(profile["profile"])
+            for root in profile["profile"]["roots"]:
+                walk(root)
+        schema = {
+            "envelope": {key: type_of(value) for key, value in document.items()},
+            "key_order": list(document),
+            "profile_fields": {
+                key: sorted(types)
+                for key, types in sorted(profile_fields.items())
+            },
+            "tree_keys": sorted(tree_keys),
+            "node_keys": sorted(node_keys),
+        }
+        golden_path = GOLDEN / "profile.json"
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN.mkdir(exist_ok=True)
+            golden_path.write_text(
+                json.dumps(schema, indent=2, sort_keys=True) + "\n"
+            )
+        assert golden_path.is_file(), (
+            "missing golden schema tests/api/golden/profile.json; generate "
+            "it with REPRO_UPDATE_GOLDEN=1"
+        )
+        assert schema == json.loads(golden_path.read_text()), (
+            "the /v1/profile wire format drifted from tests/api/golden/"
+            "profile.json; if intentional, regenerate with "
+            "REPRO_UPDATE_GOLDEN=1 and commit the diff"
+        )
+
+
+class TestHealthzProcess:
+    def test_health_carries_the_process_section(self, service):
+        health = service.health()
+        process = health["process"]
+        assert process["rss_bytes"] > 0
+        assert list(process["gc_collections"]) == ["0", "1", "2"]
+        assert isinstance(process["tracemalloc"], bool)
+        assert process["uptime_s"] == pytest.approx(
+            health["uptime_s"], abs=5.0
+        )
+        assert health["telemetry"]["profile"] == "/v1/profile"
+
+    def test_health_memory_breakdown_is_a_dict(self, service):
+        # Without a store or profiled builds the breakdown may be
+        # empty -- but the key must exist with the documented shape.
+        memory = service.health()["memory"]
+        assert isinstance(memory, dict)
+        for layer, sides in memory.items():
+            assert set(sides) == {"store_bytes", "build_peak_bytes"}
+
+    def test_trace_endpoint_marks_profiled_spans(self, service):
+        document = service.handle("GET", "/v1/trace?last=50").json()
+        profiled = [
+            node for node in _walk_spans(document["spans"])
+            if node.get("profiled")
+        ]
+        assert profiled, "the profiled serve:request span lost its marker"
+
+
+def _walk_spans(nodes):
+    for node in nodes:
+        yield node
+        yield from _walk_spans(node.get("children", ()))
